@@ -1,0 +1,34 @@
+"""Shared reporting for the benchmark harness.
+
+Every figure benchmark prints its reproduced rows/series (the same
+quantities the paper plots) and appends them to ``results/<name>.txt``
+so `pytest benchmarks/ --benchmark-only | tee bench_output.txt` leaves a
+persistent record either way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a figure's reproduced rows and persist them."""
+    banner = f"==== {name} ===="
+    text = "\n".join([banner, *lines, ""])
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+
+
+def fmt_series(series: list[tuple[float, float]], *, t_scale: float = 1e3,
+               t_unit: str = "ms", v_unit: str = "Gbps",
+               every: int = 1) -> list[str]:
+    """Render a (time, value) series as aligned rows."""
+    out = []
+    for i, (t, v) in enumerate(series):
+        if i % every:
+            continue
+        out.append(f"  {t * t_scale:8.2f} {t_unit}   {v:7.3f} {v_unit}")
+    return out

@@ -1,0 +1,157 @@
+"""Ablations of SwitchPointer's design choices (DESIGN.md §5).
+
+Not paper figures — these quantify the tradeoffs the paper argues
+qualitatively:
+
+* the §4.1.2 strawman (collision-free-by-overprovisioning hash table)
+  vs the MPHF, in memory;
+* epoch size α vs directory precision (hosts per pointer → search
+  radius → diagnosis fan-out), the §3 tradeoff;
+* the §4.3 search-radius pruning, in hosts consulted.
+"""
+
+import pytest
+
+from repro import SwitchPointerDeployment
+from repro.core.epoch import EpochRange
+from repro.core.mphf import MinimalPerfectHash
+from repro.simnet.packet import make_udp
+from repro.simnet.topology import build_linear
+
+from .reporting import emit
+
+
+def strawman_buckets_for_collision_target(m: int, target_fraction: float
+                                          ) -> int:
+    """§4.1.2: expected collisions m − (n − n(1 − 1/n)^m); find the
+    bucket count n meeting the target by doubling + bisection."""
+    def expected_collisions(n: float) -> float:
+        return m - (n - n * (1 - 1 / n) ** m)
+
+    target = target_fraction * m
+    lo, hi = float(m), float(m)
+    while expected_collisions(hi) > target:
+        hi *= 2
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if expected_collisions(mid) > target:
+            lo = mid
+        else:
+            hi = mid
+    return int(hi)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_mphf_vs_hash_table_strawman(benchmark):
+    """The paper's 100K-key example: ~50M buckets for 0.1% collisions,
+    500x overprovisioning — vs 1 bit/key + a few bits/key of MPHF."""
+    m = 100_000
+
+    def run():
+        buckets = strawman_buckets_for_collision_target(m, 0.001)
+        keys = [f"h{i}" for i in range(2000)]
+        mphf = MinimalPerfectHash.build(keys)
+        return buckets, mphf.bits_per_key()
+
+    buckets, bits_per_key = benchmark.pedantic(run, rounds=1,
+                                               iterations=1)
+    strawman_bits = buckets          # 1 bit per bucket
+    mphf_bits = m * (1 + bits_per_key)  # pointer bit + aux state
+    emit("ablation_mphf_vs_strawman", [
+        f"strawman buckets for 0.1% collisions over {m} keys: "
+        f"{buckets:,} (paper: ~50 million, ~500x keys)",
+        f"strawman pointer-set bits: {strawman_bits:,}",
+        f"MPHF pointer-set bits (1/key) + aux ({bits_per_key:.2f}/key): "
+        f"{int(mphf_bits):,}",
+        f"memory ratio strawman/MPHF: {strawman_bits / mphf_bits:.0f}x",
+    ])
+    assert 400 * m <= buckets <= 600 * m  # the paper's '500x larger'
+    assert strawman_bits / mphf_bits > 50
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_epoch_size_vs_search_radius(benchmark):
+    """§3: larger epochs → more destinations per pointer → more hosts
+    the analyzer must touch per diagnosis."""
+    n_pairs = 24
+
+    def hosts_per_pointer(alpha_ms: int) -> float:
+        net = build_linear(2, n_pairs)
+        deploy = SwitchPointerDeployment(net, alpha_ms=alpha_ms, k=2,
+                                         epsilon_ms=1, delta_ms=2)
+        # one flow per ms, rotating over destinations
+        for i in range(60):
+            dst = f"h2_{i % n_pairs}"
+            src = f"h1_{i % n_pairs}"
+            net.sim.schedule_at(i / 1000.0,
+                                lambda s=src, d=dst: net.hosts[s].send(
+                                    make_udp(s, d, 1, 9, 300)))
+        net.run()
+        store = deploy.datapaths["S1"].store
+        last_epoch = deploy.datapaths["S1"].clock.epoch_of(0.060)
+        sizes = []
+        for e in range(last_epoch + 1):
+            snap = store.snapshot(1, e)
+            if snap is not None:
+                sizes.append(len(snap.slots()))
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    def run():
+        return {a: hosts_per_pointer(a) for a in (5, 10, 20, 40)}
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_epoch_size", [
+        "alpha_ms  mean hosts per level-1 pointer",
+        *(f"  {a:6d}  {v:6.2f}" for a, v in sizes.items()),
+        "(the §3 tradeoff: larger epochs blur the directory, widening "
+        "the analyzer's search radius)"])
+    values = [sizes[a] for a in (5, 10, 20, 40)]
+    assert values == sorted(values)
+    assert values[-1] > 2 * values[0]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_search_radius_pruning(benchmark):
+    """§4.3: topology pruning removes hosts whose paths share no
+    segment with the victim."""
+    from repro.hostd.triggers import SwitchEpochTuple, VictimAlert
+    from repro.simnet.packet import FlowKey, PROTO_UDP
+
+    def run():
+        net = build_linear(3, 8)
+        deploy = SwitchPointerDeployment(net, alpha_ms=10, k=2,
+                                         epsilon_ms=1, delta_ms=2)
+        # victim's path: S1-S2-S3 to h3_0
+        net.hosts["h1_0"].send(make_udp("h1_0", "h3_0", 1, 9, 400))
+        # trunk sharers: S1->S2 traffic to h2_*
+        for i in range(4):
+            net.hosts["h1_1"].send(
+                make_udp("h1_1", f"h2_{i}", 10 + i, 9, 400))
+        # local S2 traffic to other h2_* — crosses S2 but exits on host
+        # ports the victim never uses
+        for i in range(4, 8):
+            net.hosts["h2_3"].send(
+                make_udp("h2_3", f"h2_{i}", 20 + i, 9, 400))
+        net.run()
+        alert = VictimAlert(
+            flow=FlowKey("h1_0", "h3_0", 1, 9, PROTO_UDP), host="h3_0",
+            time=0.001, kind="throughput-drop",
+            tuples=[SwitchEpochTuple(switch="S2",
+                                     epochs=EpochRange(0, 0))])
+        with_prune, _ = deploy.analyzer.locate_relevant_hosts(
+            alert, prune=True)
+        without, _ = deploy.analyzer.locate_relevant_hosts(
+            alert, prune=False)
+        return (len(with_prune[0].hosts), len(with_prune[0].pruned),
+                len(without[0].hosts))
+
+    kept, pruned, unpruned = benchmark.pedantic(run, rounds=1,
+                                                iterations=1)
+    emit("ablation_pruning", [
+        f"hosts in S2 pointer without pruning: {unpruned}",
+        f"with pruning: {kept} kept, {pruned} dropped",
+        "(each dropped host is one connection initiation saved per "
+        "diagnosis)"])
+    assert kept + pruned == unpruned
+    assert pruned >= 4          # all the local-only destinations dropped
+    assert kept < unpruned

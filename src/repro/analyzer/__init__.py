@@ -1,0 +1,20 @@
+"""SwitchPointer analyzer: coordination + debugging applications (§4.3, §5)."""
+
+from .analyzer import Analyzer, HostsPerSwitch
+from .apps import (Culprit, Verdict, diagnose_cascade, diagnose_contention,
+                   diagnose_load_imbalance, diagnose_red_lights)
+from .netdebug import (ConformanceReport, ConformanceViolation,
+                       DropLocalization, check_path_conformance,
+                       localize_packet_drops)
+from .autodebug import AutoDebugger, Incident
+
+__all__ = [
+    "Analyzer", "HostsPerSwitch",
+    "Verdict", "Culprit",
+    "diagnose_contention", "diagnose_red_lights", "diagnose_cascade",
+    "diagnose_load_imbalance",
+    "DropLocalization", "localize_packet_drops",
+    "ConformanceReport", "ConformanceViolation",
+    "check_path_conformance",
+    "AutoDebugger", "Incident",
+]

@@ -1,0 +1,209 @@
+"""The SwitchPointer analyzer (§4.3).
+
+The analyzer coordinates switch agents and host agents:
+
+* receives victim alerts from host triggers,
+* pulls pointer sets from the switches named in the alert (for the
+  epoch ranges the alert carries),
+* decodes pointer bits back to end-host names via the
+  :class:`repro.core.mphf.HostDirectory` it built and distributed,
+* **prunes the search radius** using topology: a host in the pointer is
+  only relevant if the suspect switch reaches it through a link the
+  victim's path also uses (§4.3 — "filters out irrelevant end-hosts
+  ... if the paths ... do not share any path segment of the flow"),
+* fans out queries to the surviving hosts through the latency-modelled
+  RPC fabric.
+
+Every step contributes to a :class:`repro.rpc.fabric.Breakdown`, which
+is how the Fig 7/8/12 latency decompositions are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import networkx as nx
+
+from ..core.epoch import EpochRange
+from ..core.mphf import HostDirectory
+from ..hostd.agent import HostAgent
+from ..hostd.query import FlowSummary, QueryResult
+from ..hostd.triggers import VictimAlert
+from ..rpc.fabric import Breakdown, RpcFabric
+from ..simnet.topology import Network
+from ..switchd.agent import ControlPlaneStore, SwitchAgent
+
+
+@dataclass
+class HostsPerSwitch:
+    """Pointer-decode result: which hosts hold telemetry for a switch."""
+
+    switch: str
+    epochs: EpochRange
+    hosts: list[str] = field(default_factory=list)
+    pruned: list[str] = field(default_factory=list)
+
+
+class Analyzer:
+    """Network-wide coordinator."""
+
+    def __init__(self, *, network: Network, directory: HostDirectory,
+                 switch_agents: dict[str, SwitchAgent],
+                 host_agents: dict[str, HostAgent],
+                 rpc: Optional[RpcFabric] = None,
+                 control_store: Optional[ControlPlaneStore] = None):
+        self.network = network
+        self.directory = directory
+        self.switch_agents = switch_agents
+        self.host_agents = host_agents
+        self.rpc = rpc if rpc is not None else RpcFabric()
+        self.control_store = control_store
+        self.alerts: list[VictimAlert] = []
+
+    # -- alert ingestion -------------------------------------------------------
+
+    def ingest_alert(self, alert: VictimAlert) -> None:
+        """Host-trigger sink; keeps the alert queue for the operator."""
+        self.alerts.append(alert)
+
+    # -- pointer retrieval -----------------------------------------------------
+
+    def hosts_for(self, switch: str, epochs: EpochRange, *,
+                  level: Optional[int] = 1,
+                  offline: bool = False) -> list[str]:
+        """Decode the switch's pointer for ``epochs`` into host names.
+
+        ``level=None`` selects automatically: the finest hierarchy level
+        still covering the window, falling back to the pushed offline
+        history (§4.1.1's intended access pattern).
+        """
+        agent = self.switch_agents[switch]
+        if offline:
+            slots = agent.offline_slots(epochs.lo, epochs.hi)
+        elif level is None:
+            slots, _source = agent.best_effort_slots(epochs.lo, epochs.hi)
+        else:
+            slots = agent.pull_hosts_slots(epochs.lo, epochs.hi,
+                                           level=level)
+        return self.directory.hosts_of(slots)
+
+    def locate_relevant_hosts(self, alert: VictimAlert, *, level: int = 1,
+                              prune: bool = True, offline: bool = False
+                              ) -> tuple[list[HostsPerSwitch], Breakdown]:
+        """The §3 walkthrough: alert → pointers → candidate hosts.
+
+        Returns per-switch host lists and the pointer-retrieval latency.
+        """
+        bd = Breakdown()
+        bd.add("pointer_retrieval",
+               self.rpc.pointer_pull_cost(len(alert.tuples)))
+        victim_links = self._path_links(alert.flow, alert.switch_path)
+        out = []
+        for tup in alert.tuples:
+            hosts = self.hosts_for(tup.switch, tup.epochs, level=level,
+                                   offline=offline)
+            kept, dropped = hosts, []
+            if prune:
+                kept, dropped = self._prune(tup.switch, hosts,
+                                            victim_links)
+            out.append(HostsPerSwitch(switch=tup.switch, epochs=tup.epochs,
+                                      hosts=kept, pruned=dropped))
+        return out, bd
+
+    # -- search-radius pruning (§4.3) ------------------------------------------
+
+    def _path_links(self, flow, switch_path: Sequence[str]
+                    ) -> set[frozenset]:
+        """Undirected link set of the victim's end-to-end path.
+
+        The alert may name only a subset of on-path switches; gaps
+        between consecutive waypoints are filled by shortest paths so
+        pruning never sees a disconnected fragment.
+        """
+        g = self.network.graph()
+        nodes = [flow.src] + [s for s in switch_path] + [flow.dst]
+        links: set[frozenset] = set()
+        for a, b in zip(nodes, nodes[1:]):
+            if a == b or a not in g or b not in g:
+                continue
+            try:
+                segment = nx.shortest_path(g, a, b)
+            except nx.NetworkXNoPath:
+                continue
+            links.update(frozenset(pair)
+                         for pair in zip(segment, segment[1:]))
+        return links
+
+    def _prune(self, switch: str, hosts: list[str],
+               victim_links: set[frozenset]
+               ) -> tuple[list[str], list[str]]:
+        """Keep hosts the switch reaches through a victim-path segment.
+
+        A flow destined to host h contended with the victim at ``switch``
+        only if it left the switch on a link the victim also used; hosts
+        reached via disjoint segments cannot have shared a queue with
+        the victim and are dropped from the search radius.
+        """
+        g = self.network.graph()
+        kept, dropped = [], []
+        for h in hosts:
+            try:
+                path = nx.shortest_path(g, switch, h)
+            except nx.NetworkXNoPath:
+                dropped.append(h)
+                continue
+            links = {frozenset(pair) for pair in zip(path, path[1:])}
+            if links & victim_links:
+                kept.append(h)
+            else:
+                dropped.append(h)
+        return kept, dropped
+
+    # -- host consultation -------------------------------------------------------
+
+    def consult_hosts(self, hosts: Sequence[str],
+                      query: Callable[[HostAgent], QueryResult]
+                      ) -> tuple[dict[str, QueryResult], Breakdown]:
+        """Fan a query out to ``hosts`` through the RPC latency model."""
+        known = [h for h in hosts if h in self.host_agents]
+
+        def execute(server: str) -> QueryResult:
+            return query(self.host_agents[server])
+
+        results, bd = self.rpc.fanout_query(known, execute)
+        return results, bd
+
+    def contending_flows(self, hosts: Sequence[str], switch: str,
+                         epochs: EpochRange, victim: VictimAlert
+                         ) -> tuple[list[tuple[str, FlowSummary]], Breakdown]:
+        """Summaries of non-victim flows crossing (switch, epochs).
+
+        Returns (host, flow summary) pairs for every flow — other than
+        the victim itself — whose record at some consulted host matches
+        the (switchID, epochID-range) filter.
+        """
+        results, bd = self.consult_hosts(
+            hosts, lambda agent: agent.query.flows_matching(switch, epochs))
+        victim_keys = {victim.flow, victim.flow.reversed()}
+        culprits = []
+        for host, res in results.items():
+            for summary in res.payload:
+                if summary.flow in victim_keys:
+                    continue  # the victim itself / its own ACK stream
+                culprits.append((host, summary))
+        return culprits, bd
+
+    # -- MPHF lifecycle (§4.3) -----------------------------------------------
+
+    def rebuild_directory(self, hosts: Sequence[str]) -> HostDirectory:
+        """Rebuild + 'redistribute' the MPHF after host-set changes.
+
+        In the paper the analyzer constructs a new minimal perfect hash
+        whenever end-hosts are (permanently) added and pushes it to all
+        switches.  Here redistribution means handing the new directory
+        to the caller, which rewires the switch datapaths; tests use
+        this to cover the host-churn path.
+        """
+        self.directory = HostDirectory(list(hosts))
+        return self.directory

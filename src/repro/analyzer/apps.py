@@ -1,0 +1,287 @@
+"""Debugging applications (§5).
+
+Four diagnoses, one per §5 subsection.  Each takes the analyzer and an
+alert (or a suspect switch for load imbalance) and returns a verdict
+with the latency breakdown the paper plots:
+
+* :func:`diagnose_contention` — §5.1 "too much traffic": who contended
+  with the victim at the alerted switch, and was it priority-based or a
+  microburst?  (Fig 7's four phases: detection, alert, pointer
+  retrieval, diagnosis.)
+* :func:`diagnose_red_lights` — §5.2: per-switch culprits along the
+  victim's path; the victim must share ≥ 1 epoch with each culprit at
+  the corresponding switch.
+* :func:`diagnose_cascade` — §5.3: recursive re-examination — when a
+  culprit has middle priority, walk *its* path to find who delayed it.
+* :func:`diagnose_load_imbalance` — §5.4: flow-size distributions per
+  egress interface of a suspect switch (Fig 8's diagnosis latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.epoch import EpochRange
+from ..hostd.query import FlowSummary
+from ..hostd.triggers import VictimAlert
+from ..rpc.fabric import Breakdown
+from ..simnet.packet import FlowKey
+from .analyzer import Analyzer
+
+#: Fig 7's detection phase: the 1 ms trigger window bounds it.
+DETECTION_S = 1e-3
+
+
+@dataclass
+class Culprit:
+    """One contending flow implicated in a diagnosis."""
+
+    flow: FlowKey
+    host: str                     # the end-host whose records identified it
+    switch: str                   # where it contended with the victim
+    priority: int
+    bytes: int
+    shared_epochs: Optional[EpochRange] = None
+
+
+@dataclass
+class Verdict:
+    """Outcome of a diagnosis, with the measured latency breakdown."""
+
+    problem: str
+    victim: Optional[FlowKey]
+    culprits: list[Culprit] = field(default_factory=list)
+    breakdown: Breakdown = field(default_factory=Breakdown)
+    hosts_consulted: list[str] = field(default_factory=list)
+    narrative: str = ""
+    cascade_chain: list[FlowKey] = field(default_factory=list)
+    imbalanced: bool = False
+    distribution: dict[str, list[int]] = field(default_factory=dict)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.breakdown.total
+
+
+def _overlap(a: Optional[EpochRange],
+             b: Optional[EpochRange]) -> Optional[EpochRange]:
+    if a is None or b is None or not a.intersects(b):
+        return None
+    return EpochRange(max(a.lo, b.lo), min(a.hi, b.hi))
+
+
+# ---------------------------------------------------------------------------
+# §5.1 too much traffic
+# ---------------------------------------------------------------------------
+
+def diagnose_contention(analyzer: Analyzer, alert: VictimAlert, *,
+                        prune: bool = True) -> Verdict:
+    """Who contended with the victim, and was priority involved?"""
+    bd = Breakdown()
+    bd.add("problem_detection", DETECTION_S)
+    bd.add("alert_to_analyzer", analyzer.rpc.alert_cost())
+
+    per_switch, ptr_bd = analyzer.locate_relevant_hosts(alert, prune=prune)
+    bd = bd.merged(ptr_bd)
+
+    culprits: list[Culprit] = []
+    consulted: set[str] = set()
+    diag_bd = Breakdown()
+    for entry in per_switch:
+        hosts = [h for h in entry.hosts if h != alert.flow.dst]
+        if not hosts:
+            continue
+        consulted.update(hosts)
+        found, q_bd = analyzer.contending_flows(hosts, entry.switch,
+                                                entry.epochs, alert)
+        diag_bd = diag_bd.merged(q_bd)
+        for host, summary in found:
+            shared = _overlap(summary.epochs_at(entry.switch), entry.epochs)
+            if shared is None:
+                continue
+            culprits.append(Culprit(
+                flow=summary.flow, host=host, switch=entry.switch,
+                priority=summary.priority, bytes=summary.bytes,
+                shared_epochs=shared))
+    bd.add("diagnosis", diag_bd.total)
+
+    victim_prio = _victim_priority(analyzer, alert)
+    priority_based = any(c.priority > victim_prio for c in culprits)
+    problem = ("priority-contention" if priority_based
+               else "microburst-contention")
+    narrative = (
+        f"{len(culprits)} flow(s) contended with {alert.flow.pretty()}; "
+        + ("high-priority traffic starved the victim"
+           if priority_based else
+           "equal-priority burst overflowed the queue (microburst)"))
+    return Verdict(problem=problem, victim=alert.flow, culprits=culprits,
+                   breakdown=bd, hosts_consulted=sorted(consulted),
+                   narrative=narrative)
+
+
+def _victim_priority(analyzer: Analyzer, alert: VictimAlert) -> int:
+    agent = analyzer.host_agents.get(alert.host)
+    if agent is not None:
+        rec = agent.store.get(alert.flow)
+        if rec is not None:
+            return rec.priority
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# §5.2 too many red lights
+# ---------------------------------------------------------------------------
+
+def diagnose_red_lights(analyzer: Analyzer,
+                        alert: VictimAlert) -> Verdict:
+    """Per-switch contention along the whole victim path.
+
+    The §5.2 conclusion criterion: a culprit counts at a switch only if
+    it shares at least one epochID with the victim there.
+    """
+    base = diagnose_contention(analyzer, alert)
+    by_switch: dict[str, list[Culprit]] = {}
+    for c in base.culprits:
+        by_switch.setdefault(c.switch, []).append(c)
+    multi = {sw: cs for sw, cs in by_switch.items() if cs}
+    narrative = ("; ".join(
+        f"at {sw}: " + ", ".join(c.flow.pretty() for c in cs)
+        for sw, cs in sorted(multi.items()))
+        or "no contention found on the path")
+    return Verdict(problem="too-many-red-lights", victim=alert.flow,
+                   culprits=base.culprits, breakdown=base.breakdown,
+                   hosts_consulted=base.hosts_consulted,
+                   narrative=narrative)
+
+
+# ---------------------------------------------------------------------------
+# §5.3 traffic cascades
+# ---------------------------------------------------------------------------
+
+def diagnose_cascade(analyzer: Analyzer, alert: VictimAlert, *,
+                     max_depth: int = 4) -> Verdict:
+    """Recursively walk culprit paths until the chain's head is found.
+
+    §5.3: having found that middle-priority A-F collided with victim
+    C-E, the analyzer "subsequently examines pointers from switches
+    along the path of flow A-F in order to see whether or not the flow
+    was affected by some other flows".
+    """
+    chain: list[FlowKey] = [alert.flow]
+    culprits: list[Culprit] = []
+    consulted: set[str] = set()
+    bd = Breakdown()
+    bd.add("problem_detection", DETECTION_S)
+    bd.add("alert_to_analyzer", analyzer.rpc.alert_cost())
+
+    current = alert
+    current_prio = _victim_priority(analyzer, alert)
+    for _ in range(max_depth):
+        per_switch, ptr_bd = analyzer.locate_relevant_hosts(current)
+        bd = bd.merged(ptr_bd)
+        best: Optional[Culprit] = None
+        stage_bd = Breakdown()
+        for entry in per_switch:
+            hosts = [h for h in entry.hosts if h != current.flow.dst]
+            if not hosts:
+                continue
+            consulted.update(hosts)
+            found, q_bd = analyzer.contending_flows(
+                hosts, entry.switch, entry.epochs, current)
+            stage_bd = stage_bd.merged(q_bd)
+            for host, summary in found:
+                shared = _overlap(summary.epochs_at(entry.switch),
+                                  entry.epochs)
+                if shared is None or summary.priority <= current_prio:
+                    continue
+                if summary.flow in chain:
+                    continue
+                cand = Culprit(flow=summary.flow, host=host,
+                               switch=entry.switch,
+                               priority=summary.priority,
+                               bytes=summary.bytes, shared_epochs=shared)
+                if best is None or cand.priority > best.priority:
+                    best = cand
+        bd.add("diagnosis", stage_bd.total)
+        if best is None:
+            break
+        culprits.append(best)
+        chain.append(best.flow)
+        # climb: re-examine the culprit's own path via its host's record
+        next_alert = _alert_for_flow(analyzer, best.flow, best.host,
+                                     current.time)
+        if next_alert is None:
+            break
+        current = next_alert
+        current_prio = best.priority
+
+    names = " <- ".join(f.pretty() for f in chain)
+    return Verdict(problem="traffic-cascade", victim=alert.flow,
+                   culprits=culprits, breakdown=bd,
+                   hosts_consulted=sorted(consulted),
+                   cascade_chain=chain,
+                   narrative=f"cascade chain: {names}")
+
+
+def _alert_for_flow(analyzer: Analyzer, flow: FlowKey, host: str,
+                    t: float) -> Optional[VictimAlert]:
+    """Synthesize an alert-shaped view of a non-victim flow's record."""
+    agent = analyzer.host_agents.get(host)
+    if agent is None:
+        return None
+    rec = agent.store.get(flow)
+    if rec is None or not rec.switch_path:
+        return None
+    from ..hostd.triggers import alert_tuples_from_record
+    return VictimAlert(flow=flow, host=host, time=t, kind="re-examination",
+                       tuples=alert_tuples_from_record(rec))
+
+
+# ---------------------------------------------------------------------------
+# §5.4 load imbalance
+# ---------------------------------------------------------------------------
+
+def diagnose_load_imbalance(analyzer: Analyzer, switch: str, *,
+                            epochs: EpochRange,
+                            size_threshold: int = 1_000_000,
+                            level: int = 1) -> Verdict:
+    """Compare flow-size distributions across a switch's egress sides.
+
+    Pulls the pointer covering the recent window (the paper fetches "the
+    most recent 1 sec"), queries every implicated host for a per-egress
+    flow-size distribution, and checks for a clean size separation.
+    """
+    bd = Breakdown()
+    bd.add("pointer_retrieval", analyzer.rpc.pointer_pull_cost(1))
+    hosts = analyzer.hosts_for(switch, epochs, level=level)
+    results, q_bd = analyzer.consult_hosts(
+        hosts,
+        lambda agent: agent.query.flow_size_distribution(switch=switch,
+                                                         epochs=epochs))
+    bd.add("diagnosis", q_bd.total)
+
+    merged: dict[str, list[int]] = {}
+    for res in results.values():
+        for egress, sizes in res.payload.items():
+            merged.setdefault(egress, []).extend(sizes)
+
+    imbalanced, narrative = _separation_verdict(merged, size_threshold)
+    return Verdict(problem="load-imbalance", victim=None, breakdown=bd,
+                   hosts_consulted=sorted(hosts), imbalanced=imbalanced,
+                   distribution=merged, narrative=narrative)
+
+
+def _separation_verdict(dist: dict[str, list[int]],
+                        threshold: int) -> tuple[bool, str]:
+    if len(dist) < 2:
+        return False, "traffic uses fewer than two egress interfaces"
+    small = [e for e, sizes in dist.items()
+             if sizes and max(sizes) < threshold]
+    large = [e for e, sizes in dist.items()
+             if sizes and min(sizes) >= threshold]
+    if small and large:
+        return True, (
+            f"clean separation: flows < {threshold} B exit via "
+            f"{sorted(small)}, flows >= {threshold} B via {sorted(large)}")
+    return False, "flow sizes mix across egress interfaces"

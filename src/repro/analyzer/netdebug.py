@@ -1,0 +1,160 @@
+"""Extended debugging applications (§2.4 / the PathDump use-case list).
+
+The paper notes "many other network monitoring and debugging problems"
+solvable with the directory service and cites the PathDump use-case
+catalogue.  Two of the most load-bearing ones, built on the same
+primitives as the §5 apps:
+
+* :func:`localize_packet_drops` — silent blackhole localization.  A
+  victim flow stops arriving; the per-epoch pointers along its path form
+  a *spatial cut*: upstream switches kept forwarding to the destination
+  (bit set) while switches past the fault did not (bit clear).  The
+  faulty hop is the boundary.
+* :func:`check_path_conformance` — routing-policy validation.  Host
+  flow records carry reconstructed trajectories; comparing them against
+  the topology's shortest paths flags reroutes, loops, and
+  valley-routing without touching any switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.epoch import EpochRange
+from ..hostd.records import FlowRecord
+from ..rpc.fabric import Breakdown
+from ..simnet.packet import FlowKey
+from .analyzer import Analyzer
+
+
+@dataclass
+class DropLocalization:
+    """Outcome of blackhole localization for one flow."""
+
+    flow: FlowKey
+    epochs: EpochRange
+    #: switches on the path that still forwarded to the destination
+    forwarding: list[str] = field(default_factory=list)
+    #: switches past the cut that never saw the flow in the window
+    silent: list[str] = field(default_factory=list)
+    #: (last forwarding switch, first silent switch) — the faulty hop
+    suspect_hop: Optional[tuple[str, str]] = None
+    breakdown: Breakdown = field(default_factory=Breakdown)
+
+    @property
+    def localized(self) -> bool:
+        return self.suspect_hop is not None
+
+
+def localize_packet_drops(analyzer: Analyzer, flow: FlowKey,
+                          switch_path: list[str], epochs: EpochRange,
+                          *, level: int = 1) -> DropLocalization:
+    """Find the hop where ``flow``'s packets silently vanish.
+
+    ``switch_path`` is the flow's known trajectory (from its record,
+    before the blackhole), ``epochs`` the window in which the
+    destination observed silence.  Pointers are pulled per switch; the
+    first on-path switch whose pointer does *not* name the destination
+    in the window marks the downstream side of the cut.
+    """
+    bd = Breakdown()
+    bd.add("pointer_retrieval",
+           analyzer.rpc.pointer_pull_cost(len(switch_path)))
+    forwarding, silent = [], []
+    for sw in switch_path:
+        hosts = analyzer.hosts_for(sw, epochs, level=level)
+        if flow.dst in hosts:
+            forwarding.append(sw)
+        else:
+            silent.append(sw)
+    suspect: Optional[tuple[str, str]] = None
+    for here, nxt in zip(switch_path, switch_path[1:]):
+        if here in forwarding and nxt in silent:
+            suspect = (here, nxt)
+            break
+    if suspect is None and forwarding and silent:
+        suspect = (forwarding[-1], silent[0])
+    if suspect is None and not forwarding and switch_path:
+        # nothing forwarded at all: fault is upstream of the first hop
+        suspect = (flow.src, switch_path[0])
+    return DropLocalization(flow=flow, epochs=epochs,
+                            forwarding=forwarding, silent=silent,
+                            suspect_hop=suspect, breakdown=bd)
+
+
+@dataclass
+class ConformanceViolation:
+    """One flow whose observed trajectory breaks policy."""
+
+    flow: FlowKey
+    host: str
+    observed_path: list[str]
+    kind: str          # "loop" | "non-shortest" | "off-policy"
+    detail: str = ""
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a network-wide path-conformance sweep."""
+
+    flows_checked: int = 0
+    violations: list[ConformanceViolation] = field(default_factory=list)
+    breakdown: Breakdown = field(default_factory=Breakdown)
+
+    @property
+    def conformant(self) -> bool:
+        return not self.violations
+
+
+def check_path_conformance(analyzer: Analyzer, *,
+                           hosts: Optional[list[str]] = None,
+                           expected_paths: Optional[
+                               dict[FlowKey, list[str]]] = None
+                           ) -> ConformanceReport:
+    """Validate every recorded trajectory against routing policy.
+
+    Default policy: a flow's switch path must be loop-free and one of
+    the topology's shortest paths between its endpoints.  Per-flow
+    ``expected_paths`` override the default (e.g. a traffic-engineering
+    pin); a mismatch there reports ``off-policy``.
+    """
+    report = ConformanceReport()
+    targets = hosts if hosts is not None else sorted(analyzer.host_agents)
+    results, bd = analyzer.consult_hosts(
+        targets, lambda agent: agent.query.all_flows())
+    report.breakdown = bd
+    net = analyzer.network
+    for host, res in results.items():
+        for summary in res.payload:
+            report.flows_checked += 1
+            path = summary.switch_path
+            flow = summary.flow
+            if len(set(path)) != len(path):
+                report.violations.append(ConformanceViolation(
+                    flow=flow, host=host, observed_path=path,
+                    kind="loop",
+                    detail="switch repeated on path"))
+                continue
+            if expected_paths and flow in expected_paths:
+                if path != expected_paths[flow]:
+                    report.violations.append(ConformanceViolation(
+                        flow=flow, host=host, observed_path=path,
+                        kind="off-policy",
+                        detail=f"expected {expected_paths[flow]}"))
+                continue
+            if not _is_shortest(net, flow, path):
+                report.violations.append(ConformanceViolation(
+                    flow=flow, host=host, observed_path=path,
+                    kind="non-shortest",
+                    detail="trajectory is not a shortest path"))
+    return report
+
+
+def _is_shortest(net, flow: FlowKey, switch_path: list[str]) -> bool:
+    try:
+        candidates = net.shortest_paths(flow.src, flow.dst)
+    except Exception:
+        return False
+    observed = [flow.src] + list(switch_path) + [flow.dst]
+    return observed in candidates

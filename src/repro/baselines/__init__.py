@@ -1,0 +1,9 @@
+"""Comparison baselines: PathDump (end-host) and in-network approaches."""
+
+from .pathdump import PathDumpAnalyzer, top_k_with_switchpointer
+from .innetwork import PortCounterMonitor, SampledNetFlow
+
+__all__ = [
+    "PathDumpAnalyzer", "top_k_with_switchpointer",
+    "SampledNetFlow", "PortCounterMonitor",
+]

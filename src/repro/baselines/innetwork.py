@@ -1,0 +1,105 @@
+"""In-network baselines (§2's "limitations of existing techniques").
+
+Two classic switch-resident approaches, built to *demonstrate the gap*
+SwitchPointer closes:
+
+* :class:`SampledNetFlow` — per-switch packet sampling with per-flow
+  counters (Sampled NetFlow).  §2.1: "packet sampling based techniques
+  would miss microbursts due to undersampling".  A 1 ms burst at 1/1000
+  sampling contributes ~0-2 samples; :meth:`flows_observed_during`
+  makes the miss measurable.
+* :class:`PortCounterMonitor` — per-port byte counters (SNMP-style).
+  §2.1: "switch counter based techniques would not be able to
+  differentiate between the priority-based and microburst-based flow
+  contention" — the counters see the same aggregate dip either way, and
+  :meth:`classify_contention` can only answer "unknown-contention".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..simnet.device import Switch
+from ..simnet.link import Interface
+from ..simnet.packet import FlowKey, Packet
+
+
+class SampledNetFlow:
+    """1-in-N packet sampling at a switch, with per-flow counters."""
+
+    def __init__(self, switch: Switch, sample_rate: int = 1000, *,
+                 seed: int = 1):
+        if sample_rate < 1:
+            raise ValueError("sample rate must be >= 1")
+        self.switch = switch
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self.samples: list[tuple[float, FlowKey, int]] = []
+        self.flow_packets: dict[FlowKey, int] = {}
+        self.packets_seen = 0
+        switch.pipeline.append(self._hook)
+
+    def _hook(self, sw: Switch, pkt: Packet, in_iface: Optional[Interface],
+              out_iface: Interface) -> None:
+        self.packets_seen += 1
+        if self._rng.randrange(self.sample_rate) == 0:
+            t = sw.sim.now
+            self.samples.append((t, pkt.flow, pkt.size))
+            self.flow_packets[pkt.flow] = (
+                self.flow_packets.get(pkt.flow, 0) + 1)
+
+    def flows_observed_during(self, t_lo: float,
+                              t_hi: float) -> set[FlowKey]:
+        """Flows with ≥ 1 sample inside the window — what NetFlow *saw*."""
+        return {flow for t, flow, _ in self.samples if t_lo <= t <= t_hi}
+
+    def missed_flows(self, actual: set[FlowKey], t_lo: float,
+                     t_hi: float) -> set[FlowKey]:
+        """Ground-truth flows invisible to the sampler in the window."""
+        return actual - self.flows_observed_during(t_lo, t_hi)
+
+
+class PortCounterMonitor:
+    """Per-egress-port byte counters sampled in fixed windows."""
+
+    def __init__(self, switch: Switch, window: float = 0.001):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.switch = switch
+        self.window = window
+        # iface name -> window index -> bytes
+        self._bins: dict[str, dict[int, int]] = {}
+        switch.pipeline.append(self._hook)
+
+    def _hook(self, sw: Switch, pkt: Packet, in_iface: Optional[Interface],
+              out_iface: Interface) -> None:
+        idx = int(sw.sim.now / self.window)
+        bins = self._bins.setdefault(out_iface.name, {})
+        bins[idx] = bins.get(idx, 0) + pkt.size
+
+    def port_series(self, iface_name: str) -> list[tuple[float, float]]:
+        """(window start, Gbps) series for one egress interface."""
+        bins = self._bins.get(iface_name, {})
+        if not bins:
+            return []
+        out = []
+        for idx in range(0, max(bins) + 1):
+            gbps = bins.get(idx, 0) * 8 / self.window / 1e9
+            out.append((idx * self.window, gbps))
+        return out
+
+    def classify_contention(self, iface_name: str, t_lo: float,
+                            t_hi: float) -> str:
+        """What can aggregate counters conclude about a contention event?
+
+        They can see *that* the port was busy, but carry no flow
+        identity or priority — so priority-based vs microburst-based
+        contention is indistinguishable (§2.1).  The honest answer is
+        always ``"unknown-contention"`` (or ``"no-contention"`` when the
+        port was idle).
+        """
+        lo, hi = int(t_lo / self.window), int(t_hi / self.window)
+        bins = self._bins.get(iface_name, {})
+        busy = any(bins.get(i, 0) > 0 for i in range(lo, hi + 1))
+        return "unknown-contention" if busy else "no-contention"

@@ -1,0 +1,158 @@
+"""Command-line interface: run paper experiments from the shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig2a            # any figure id from `list`
+    python -m repro.cli fig8 --servers 4 8 16
+    python -m repro.cli sizing --hosts 100000 --alpha 10 --k 3
+
+The heavy lifting lives in :mod:`repro.scenarios` and
+:mod:`repro.core.sizing`; this module only parses arguments and prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analyzer.apps import (diagnose_contention, diagnose_load_imbalance,
+                            diagnose_red_lights, diagnose_cascade)
+from .core.epoch import EpochRange
+from .core.sizing import (push_bandwidth_bps, recycling_period_ms,
+                          total_switch_memory_bytes)
+from .scenarios import (run_cascades_scenario, run_contention_scenario,
+                        run_load_imbalance_scenario,
+                        run_red_lights_scenario)
+
+FIGURES = {
+    "fig2a": "priority-based flow contention (victim starvation sweep)",
+    "fig2b": "microburst-based flow contention (FIFO sweep)",
+    "fig3": "too many red lights (per-switch victim throughput)",
+    "fig4": "traffic cascades (with vs without)",
+    "fig7": "debugging-time breakdown for priority contention",
+    "fig8": "load-imbalance diagnosis latency sweep",
+    "sizing": "Fig 10/11 resource arithmetic for one (n, alpha, k)",
+}
+
+
+def cmd_list(_args) -> int:
+    for name, desc in FIGURES.items():
+        print(f"  {name:8s} {desc}")
+    return 0
+
+
+def cmd_fig2(args, discipline: str) -> int:
+    print(f"m_flows  starvation_ms  max_gap_ms  timeouts")
+    for m in args.flows:
+        res = run_contention_scenario(m, discipline=discipline,
+                                      duration=0.045, watch=False)
+        print(f"  {m:5d}  {res.starvation_ms():12.1f}  "
+              f"{res.max_gap_ms():9.2f}  {res.tcp_timeouts:8d}")
+    return 0
+
+
+def cmd_fig3(_args) -> int:
+    res = run_red_lights_scenario()
+    for label, probe in (("S1", res.tput_at_s1), ("S2", res.tput_at_s2)):
+        print(f"victim throughput at {label} egress:")
+        for t, g in probe.series():
+            if t > 0.009:
+                break
+            print(f"  {t * 1e3:6.2f} ms  {g:5.2f} Gbps")
+    if res.alerts:
+        v = diagnose_red_lights(res.deployment.analyzer, res.alerts[0])
+        print(f"diagnosis: {v.narrative}")
+    return 0
+
+
+def cmd_fig4(_args) -> int:
+    for cascaded in (False, True):
+        res = run_cascades_scenario(cascaded=cascaded)
+        tag = "with cascade" if cascaded else "without cascade"
+        print(f"{tag}: C-E completed at "
+              f"{res.ce_completed_at * 1e3:.1f} ms")
+        if cascaded and res.alerts:
+            v = diagnose_cascade(res.deployment.analyzer, res.alerts[0])
+            print(f"  {v.narrative}")
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    print("m    total_ms  hosts  verdict")
+    for m in args.flows:
+        res = run_contention_scenario(m, discipline="priority",
+                                      duration=0.045)
+        if not res.alerts:
+            print(f"  {m:3d}  (no alert)")
+            continue
+        v = diagnose_contention(res.deployment.analyzer, res.alerts[0])
+        print(f"  {m:3d}  {v.total_time_s * 1e3:7.1f}  "
+              f"{len(v.hosts_consulted):5d}  {v.problem}")
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    print("servers  diagnosis_ms  imbalanced")
+    for n in args.servers:
+        res = run_load_imbalance_scenario(n)
+        v = diagnose_load_imbalance(
+            res.deployment.analyzer, res.suspect_switch,
+            epochs=EpochRange(0, res.last_epoch))
+        print(f"  {n:5d}  {v.total_time_s * 1e3:12.1f}  {v.imbalanced}")
+    return 0
+
+
+def cmd_sizing(args) -> int:
+    n, alpha, k = args.hosts, args.alpha, args.k
+    print(f"n={n}, alpha={alpha} ms, k={k}:")
+    print(f"  switch memory: "
+          f"{total_switch_memory_bytes(n, alpha, k) / 1e6:.3f} MB")
+    print(f"  push bandwidth: "
+          f"{push_bandwidth_bps(n, alpha, k) / 1e6:.4f} Mbps")
+    for h in range(1, k):
+        print(f"  level {h} recycling period: "
+              f"{recycling_period_ms(alpha, h):.0f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="SwitchPointer reproduction — experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    for fig in ("fig2a", "fig2b", "fig7"):
+        p = sub.add_parser(fig, help=FIGURES[fig])
+        p.add_argument("--flows", type=int, nargs="+",
+                       default=[1, 2, 4, 8, 16])
+    sub.add_parser("fig3", help=FIGURES["fig3"])
+    sub.add_parser("fig4", help=FIGURES["fig4"])
+    p8 = sub.add_parser("fig8", help=FIGURES["fig8"])
+    p8.add_argument("--servers", type=int, nargs="+",
+                    default=[4, 8, 16, 32, 64, 96])
+    ps = sub.add_parser("sizing", help=FIGURES["sizing"])
+    ps.add_argument("--hosts", type=int, default=100_000)
+    ps.add_argument("--alpha", type=int, default=10)
+    ps.add_argument("--k", type=int, default=3)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    dispatch = {
+        "list": cmd_list,
+        "fig2a": lambda a: cmd_fig2(a, "priority"),
+        "fig2b": lambda a: cmd_fig2(a, "fifo"),
+        "fig3": cmd_fig3,
+        "fig4": cmd_fig4,
+        "fig7": cmd_fig7,
+        "fig8": cmd_fig8,
+        "sizing": cmd_sizing,
+    }
+    return dispatch[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

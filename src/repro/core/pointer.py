@@ -1,0 +1,325 @@
+"""Pointer sets and the hierarchical pointer store (§4.1.1–§4.1.2).
+
+A *pointer set* is a bit array with one bit per end-host slot (slot =
+MPHF(destination)).  Bit set ⇒ "this switch forwarded at least one
+packet to that end-host during this set's time window" — the directory
+entry that later tells the analyzer where telemetry lives.
+
+The *hierarchical store* keeps k levels of pointer sets over
+exponentially growing windows (epoch duration α ms):
+
+* level h ∈ [1, k−1]: α sets, each covering αʰ ms (= αʰ⁻¹ epochs);
+  together they span αʰ⁺¹ ms,
+* level k (top): a single set covering αᵏ ms, pushed to the control
+  plane every αᵏ ms for persistent storage (offline diagnosis).
+
+Updates are O(k) bit-sets off one shared slot index — the "one hash
+operation per packet, same index across all levels" property the MPHF
+buys (§4.1.2).  Sets rotate lazily: a set is reset only when a packet
+first touches its reused window, so an un-overwritten set remains
+queryable for its *old* window (tag-validated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+_BIT_MASKS = [1 << i for i in range(8)]
+
+
+class PointerSet:
+    """Fixed-size bit array over end-host slots."""
+
+    __slots__ = ("n_slots", "_bits", "popcount")
+
+    def __init__(self, n_slots: int):
+        if n_slots <= 0:
+            raise ValueError("need at least one slot")
+        self.n_slots = n_slots
+        self._bits = bytearray((n_slots + 7) // 8)
+        self.popcount = 0
+
+    def set_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.n_slots:
+            raise IndexError(f"slot {slot} out of range [0, {self.n_slots})")
+        byte, bit = slot >> 3, slot & 7
+        if not self._bits[byte] & _BIT_MASKS[bit]:
+            self._bits[byte] |= _BIT_MASKS[bit]
+            self.popcount += 1
+
+    def test_slot(self, slot: int) -> bool:
+        if not 0 <= slot < self.n_slots:
+            raise IndexError(f"slot {slot} out of range [0, {self.n_slots})")
+        return bool(self._bits[slot >> 3] & _BIT_MASKS[slot & 7])
+
+    def clear(self) -> None:
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+        self.popcount = 0
+
+    def iter_slots(self) -> Iterator[int]:
+        """Yield the indices of all set bits, ascending."""
+        for byte_idx, byte in enumerate(self._bits):
+            if not byte:
+                continue
+            base = byte_idx << 3
+            for bit in range(8):
+                if byte & _BIT_MASKS[bit]:
+                    slot = base + bit
+                    if slot < self.n_slots:
+                        yield slot
+
+    def union_into(self, other: "PointerSet") -> None:
+        """OR this set's bits into ``other`` (same size required)."""
+        if other.n_slots != self.n_slots:
+            raise ValueError("pointer sets differ in size")
+        for i, byte in enumerate(self._bits):
+            other._bits[i] |= byte
+        other.popcount = sum(bin(b).count("1") for b in other._bits)
+
+    def copy(self) -> "PointerSet":
+        dup = PointerSet(self.n_slots)
+        dup._bits[:] = self._bits
+        dup.popcount = self.popcount
+        return dup
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, n_slots: int, blob: bytes) -> "PointerSet":
+        ps = cls(n_slots)
+        ps._bits[:] = blob
+        ps.popcount = sum(bin(b).count("1") for b in ps._bits)
+        return ps
+
+    @property
+    def size_bits(self) -> int:
+        """S in the paper's sizing formulas: one bit per end-host."""
+        return self.n_slots
+
+    def __len__(self) -> int:
+        return self.popcount
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PointerSet)
+                and other.n_slots == self.n_slots
+                and other._bits == self._bits)
+
+
+@dataclass(frozen=True)
+class PointerSnapshot:
+    """An immutable view of one pointer set, as pulled by the analyzer.
+
+    ``segment`` identifies the window: the set covers epochs
+    ``[segment * epochs_covered, (segment+1) * epochs_covered)``.
+    """
+
+    level: int
+    segment: int
+    epochs_covered: int
+    bits: bytes
+    n_slots: int
+
+    @property
+    def epoch_lo(self) -> int:
+        return self.segment * self.epochs_covered
+
+    @property
+    def epoch_hi(self) -> int:
+        return (self.segment + 1) * self.epochs_covered - 1
+
+    def slots(self) -> list[int]:
+        return list(PointerSet.from_bytes(self.n_slots,
+                                          self.bits).iter_slots())
+
+    @property
+    def size_bits(self) -> int:
+        return self.n_slots
+
+
+class _LevelSlot:
+    """One rotating pointer set with its current window tag."""
+
+    __slots__ = ("pointer", "segment")
+
+    def __init__(self, n_slots: int):
+        self.pointer = PointerSet(n_slots)
+        self.segment: Optional[int] = None  # None = never used
+
+
+class HierarchicalPointerStore:
+    """The k-level pointer hierarchy of one switch.
+
+    Parameters
+    ----------
+    n_slots:
+        Number of end-host slots (MPHF range).
+    alpha:
+        α — both the epoch duration in ms and the per-level fan-out
+        (each level holds α sets), exactly as in the paper.
+    k:
+        Number of levels; k = 1 degenerates to a single pushed set.
+    on_push:
+        Callback invoked with a :class:`PointerSnapshot` whenever the
+        top-level set completes its αᵏ ms window and is handed to the
+        control plane (push model, §4.1.1).
+    """
+
+    def __init__(self, n_slots: int, alpha: int, k: int, *,
+                 on_push: Optional[Callable[[PointerSnapshot],
+                                            None]] = None):
+        if alpha < 2:
+            raise ValueError("alpha must be >= 2 (need a real hierarchy)")
+        if k < 1:
+            raise ValueError("need at least one level")
+        self.n_slots = n_slots
+        self.alpha = alpha
+        self.k = k
+        self.on_push = on_push
+        # levels[h-1] for h in 1..k-1 holds alpha slots; top is separate.
+        self._levels: list[list[_LevelSlot]] = [
+            [_LevelSlot(n_slots) for _ in range(alpha)]
+            for _ in range(k - 1)]
+        self._top = _LevelSlot(n_slots)
+        # per-level epoch divisors, precomputed: the update path runs
+        # per forwarded packet and must not exponentiate (§4.1.2's
+        # "one operation per packet" spirit)
+        self._divisors = [alpha ** h for h in range(k)]
+        self.updates = 0
+        self.pushes = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    def epochs_covered(self, level: int) -> int:
+        """Epochs per set at ``level`` (1-based): αˡᵉᵛᵉˡ⁻¹; top: αᵏ⁻¹."""
+        if not 1 <= level <= self.k:
+            raise ValueError(f"level {level} outside [1, {self.k}]")
+        return self.alpha ** (level - 1)
+
+    def window_ms(self, level: int, alpha_ms: Optional[float] = None) -> float:
+        """Wall-clock coverage of one set at ``level`` (αˡᵉᵛᵉˡ ms)."""
+        a_ms = self.alpha if alpha_ms is None else alpha_ms
+        return a_ms * self.epochs_covered(level)
+
+    def _segment_of(self, level: int, epoch: int) -> int:
+        return epoch // self._divisors[level - 1]
+
+    # -- dataplane update ----------------------------------------------------
+
+    def update(self, epoch: int, slot: int) -> None:
+        """Record "forwarded a packet to slot in epoch" across all levels.
+
+        This is the per-packet path: one slot index (computed once by the
+        caller via the MPHF) is set in one set per level, rotating any
+        set whose window has moved on.
+        """
+        self.updates += 1
+        alpha = self.alpha
+        divisors = self._divisors
+        for level_idx, level_slots in enumerate(self._levels):
+            seg = epoch // divisors[level_idx]
+            ls = level_slots[seg % alpha]
+            if ls.segment != seg:
+                ls.pointer.clear()
+                ls.segment = seg
+            ls.pointer.set_slot(slot)
+        seg = epoch // divisors[self.k - 1]
+        if self._top.segment != seg:
+            if self._top.segment is not None:
+                self._push_top()
+            self._top.pointer.clear()
+            self._top.segment = seg
+        self._top.pointer.set_slot(slot)
+
+    def _push_top(self) -> None:
+        self.pushes += 1
+        if self.on_push is not None and self._top.segment is not None:
+            self.on_push(self._snapshot_of(self.k, self._top))
+
+    def flush_top(self) -> None:
+        """Force-push the current top-level set (e.g. at shutdown)."""
+        if self._top.segment is not None:
+            self._push_top()
+
+    # -- analyzer pull model -----------------------------------------------
+
+    def _slots_at(self, level: int) -> list[_LevelSlot]:
+        return ([self._top] if level == self.k
+                else self._levels[level - 1])
+
+    def _snapshot_of(self, level: int, ls: _LevelSlot) -> PointerSnapshot:
+        assert ls.segment is not None
+        return PointerSnapshot(level=level, segment=ls.segment,
+                               epochs_covered=self.epochs_covered(level),
+                               bits=ls.pointer.to_bytes(),
+                               n_slots=self.n_slots)
+
+    def snapshot(self, level: int, epoch: int) -> Optional[PointerSnapshot]:
+        """The live set covering ``epoch`` at ``level``, if still held.
+
+        Returns ``None`` when the window was never populated or has been
+        recycled — both mean "no packets recorded", never wrong data
+        (lazy rotation keeps tags honest).
+        """
+        seg = self._segment_of(level, epoch)
+        for ls in self._slots_at(level):
+            if ls.segment == seg:
+                return self._snapshot_of(level, ls)
+        return None
+
+    def epoch_status(self, level: int, epoch: int) -> str:
+        """How ``level`` can answer for ``epoch``.
+
+        * ``"live"`` — the covering set still holds that window's bits.
+        * ``"empty"`` — the window was never written (its set slot was
+          never advanced that far), so "no hosts" is the *correct*
+          answer, not data loss.  Negative epochs are empty by
+          definition.
+        * ``"recycled"`` — the set has been reused by a newer window;
+          the data existed and is gone at this level (escalate).
+        """
+        if epoch < 0:
+            return "empty"
+        seg = self._segment_of(level, epoch)
+        slots = self._slots_at(level)
+        ls = (self._top if level == self.k
+              else slots[seg % self.alpha])
+        if ls.segment == seg:
+            return "live"
+        if ls.segment is None or ls.segment < seg:
+            return "empty"
+        return "recycled"
+
+    def snapshots_covering(self, level: int, epoch_lo: int,
+                           epoch_hi: int) -> list[PointerSnapshot]:
+        """All live sets at ``level`` intersecting ``[epoch_lo, epoch_hi]``."""
+        if epoch_lo > epoch_hi:
+            raise ValueError("empty epoch range")
+        span = self.epochs_covered(level)
+        seg_lo, seg_hi = epoch_lo // span, epoch_hi // span
+        out = []
+        for ls in self._slots_at(level):
+            if ls.segment is not None and seg_lo <= ls.segment <= seg_hi:
+                out.append(self._snapshot_of(level, ls))
+        return sorted(out, key=lambda s: s.segment)
+
+    def slots_for_epochs(self, epoch_lo: int, epoch_hi: int,
+                         level: int = 1) -> set[int]:
+        """Union of set bits over live sets covering the epoch range."""
+        slots: set[int] = set()
+        for snap in self.snapshots_covering(level, epoch_lo, epoch_hi):
+            slots.update(snap.slots())
+        return slots
+
+    # -- accounting (Fig 10a) -----------------------------------------------
+
+    @property
+    def total_pointer_sets(self) -> int:
+        return self.alpha * (self.k - 1) + 1
+
+    @property
+    def memory_bits(self) -> int:
+        """α·(k−1)·S + S — the paper's switch-memory formula."""
+        return self.total_pointer_sets * self.n_slots

@@ -1,0 +1,145 @@
+"""End-to-end wiring: instrument a simulated network with SwitchPointer.
+
+:class:`SwitchPointerDeployment` is the one-stop constructor the
+examples, tests, and benchmarks use: given a :class:`repro.simnet.Network`
+it builds the host directory (MPHF), installs a datapath + control-plane
+agent on every switch, a telemetry agent on every host, and an analyzer
+on top — the full system of §3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .analyzer.analyzer import Analyzer
+from .core.epoch import EpochClock, EpochRangeEstimator
+from .core.mphf import HostDirectory
+from .core.pointer import HierarchicalPointerStore
+from .hostd.agent import HostAgent
+from .hostd.triggers import ThroughputDropTrigger, VictimAlert
+from .rpc.fabric import LatencyModel, RpcFabric
+from .simnet.packet import FlowKey
+from .simnet.topology import Network
+from .switchd.agent import ControlPlaneStore, SwitchAgent
+from .switchd.cherrypick import CherryPickPlanner
+from .switchd.datapath import MODE_VLAN, SwitchPointerDatapath
+from .switchd.rules import RuleTable
+
+#: Default configuration, following the paper's running example:
+#: α = 10 ms, k = 3 levels, ε = α, Δ = 2α (§4.2.1).
+DEFAULT_ALPHA_MS = 10
+DEFAULT_K = 3
+
+
+class SwitchPointerDeployment:
+    """A fully instrumented network.
+
+    Parameters
+    ----------
+    network:
+        The simulated topology (routes must already be computed).
+    alpha_ms:
+        Epoch duration α — also the hierarchy fan-out (integer, ≥ 2).
+    k:
+        Hierarchy depth.
+    epsilon_ms / delta_ms:
+        Skew and one-hop-delay bounds for epoch-range extrapolation;
+        default to α and 2α (the paper's example values).
+    mode:
+        Telemetry embedding: ``"vlan"`` (default), ``"int"``, ``"none"``.
+    skew_of:
+        Optional callable node-name → clock skew in seconds, to exercise
+        the asynchrony handling.  Skews must respect |skew(a)−skew(b)| ≤ ε.
+    enforce_commodity_limit:
+        Refuse α below the 15 ms OpenFlow rule-update floor (off by
+        default — the simulated switches are not so constrained).
+    """
+
+    def __init__(self, network: Network, *,
+                 alpha_ms: int = DEFAULT_ALPHA_MS, k: int = DEFAULT_K,
+                 epsilon_ms: Optional[float] = None,
+                 delta_ms: Optional[float] = None,
+                 mode: str = MODE_VLAN,
+                 skew_of: Optional[Callable[[str], float]] = None,
+                 rpc: Optional[RpcFabric] = None,
+                 latency_model: Optional[LatencyModel] = None,
+                 enforce_commodity_limit: bool = False):
+        self.network = network
+        self.alpha_ms = alpha_ms
+        self.k = k
+        self.mode = mode
+        self.epsilon_ms = alpha_ms if epsilon_ms is None else epsilon_ms
+        self.delta_ms = 2 * alpha_ms if delta_ms is None else delta_ms
+        skew = skew_of if skew_of is not None else (lambda _name: 0.0)
+
+        self.directory = HostDirectory(network.host_names)
+        self.planner = CherryPickPlanner(network)
+        self.estimator = EpochRangeEstimator(
+            alpha_ms=alpha_ms, epsilon_ms=self.epsilon_ms,
+            delta_ms=self.delta_ms)
+        self.control_store = ControlPlaneStore()
+
+        self.datapaths: dict[str, SwitchPointerDatapath] = {}
+        self.switch_agents: dict[str, SwitchAgent] = {}
+        self.rule_tables: dict[str, RuleTable] = {}
+        for name, sw in network.switches.items():
+            clock = EpochClock(alpha_ms, skew_s=skew(name))
+            store = HierarchicalPointerStore(self.directory.n,
+                                             alpha=alpha_ms, k=k)
+            dp = SwitchPointerDatapath(sw, clock, self.directory.mphf,
+                                       store, planner=self.planner,
+                                       mode=mode)
+            table = None
+            if mode == MODE_VLAN:
+                table = RuleTable(
+                    switch_name=name, port_count=max(1, sw.port_count),
+                    alpha_ms=float(alpha_ms),
+                    enforce_commodity_limit=enforce_commodity_limit)
+                self.rule_tables[name] = table
+            agent = SwitchAgent(name, clock, store, rule_table=table)
+            self._wire_push(agent, store, name)
+            self.datapaths[name] = dp
+            self.switch_agents[name] = agent
+
+        self.host_agents: dict[str, HostAgent] = {}
+        for name, host in network.hosts.items():
+            clock = EpochClock(alpha_ms, skew_s=skew(name))
+            self.host_agents[name] = HostAgent(
+                host, clock=clock, planner=self.planner,
+                estimator=self.estimator)
+
+        rpc_fabric = rpc if rpc is not None else RpcFabric(latency_model)
+        self.analyzer = Analyzer(
+            network=network, directory=self.directory,
+            switch_agents=self.switch_agents,
+            host_agents=self.host_agents, rpc=rpc_fabric,
+            control_store=self.control_store)
+
+    def _wire_push(self, agent: SwitchAgent,
+                   store: HierarchicalPointerStore, name: str) -> None:
+        original = agent._on_push
+
+        def on_push(snap, _orig=original, _name=name):
+            _orig(snap)
+            self.control_store.ingest(_name, snap)
+
+        store.on_push = on_push
+
+    # -- conveniences ----------------------------------------------------------
+
+    def watch_flow(self, flow: FlowKey, **kwargs) -> ThroughputDropTrigger:
+        """Install the §5.1 throughput trigger at the flow's destination,
+        alerting the analyzer."""
+        agent = self.host_agents[flow.dst]
+        return agent.watch_flow(flow, self.analyzer.ingest_alert, **kwargs)
+
+    def alerts(self) -> list[VictimAlert]:
+        return self.analyzer.alerts
+
+    def flush_all_tops(self) -> None:
+        """Force-push every switch's top-level pointer (end of run)."""
+        for dp in self.datapaths.values():
+            dp.store.flush_top()
+
+    def total_pointer_memory_bits(self) -> int:
+        return sum(dp.store.memory_bits for dp in self.datapaths.values())

@@ -1,0 +1,91 @@
+"""Host agent: the end-host daemon (§4.2).
+
+One :class:`HostAgent` per server wires together everything the paper's
+flask-based agent does:
+
+* a sniffer on the host datapath feeding the telemetry decoder,
+* the flow-record store (+ optional disk spill),
+* the query engine the analyzer calls into,
+* trigger registration (throughput drop, TCP timeout) with alerts
+  routed to a sink (normally the analyzer's ingest method).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from ..core.epoch import EpochClock, EpochRangeEstimator
+from ..simnet.engine import Simulator
+from ..simnet.host import Host
+from ..simnet.packet import FlowKey
+from ..simnet.tcp import TcpSender
+from ..switchd.cherrypick import CherryPickPlanner
+from .decoder import TelemetryDecoder
+from .query import QueryEngine
+from .records import FlowRecordStore
+from .triggers import (AlertSink, TcpTimeoutTrigger, ThroughputDropTrigger,
+                       VictimAlert)
+
+
+class HostAgent:
+    """The SwitchPointer daemon running on one end-host."""
+
+    def __init__(self, host: Host, *, clock: EpochClock,
+                 planner: CherryPickPlanner,
+                 estimator: EpochRangeEstimator,
+                 spill_path: Optional[Path] = None):
+        self.host = host
+        self.clock = clock
+        self.store = FlowRecordStore(host.name, spill_path=spill_path)
+        self.decoder = TelemetryDecoder(self.store, clock, planner,
+                                        estimator)
+        self.query = QueryEngine(self.store)
+        self.triggers: list[ThroughputDropTrigger] = []
+        self.timeout_triggers: list[TcpTimeoutTrigger] = []
+        host.sniffers.append(self.decoder.on_packet)
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def sim(self) -> Simulator:
+        return self.host.sim
+
+    # -- trigger management -------------------------------------------------
+
+    def watch_flow(self, flow: FlowKey, sink: AlertSink, *,
+                   window: float = 0.001, drop_threshold: float = 0.5,
+                   floor_gbps: float = 0.05) -> ThroughputDropTrigger:
+        """Install the §5.1 throughput-drop trigger for one flow."""
+        trig = ThroughputDropTrigger(
+            self.sim, flow, self.host.name, self.store, sink,
+            window=window, drop_threshold=drop_threshold,
+            floor_gbps=floor_gbps, clock=self.clock,
+            slack_epochs=self.decoder.estimator.span_epochs(1))
+        self.triggers.append(trig)
+        # feed the trigger from the same sniffer stream the decoder uses
+        self.host.sniffers.append(
+            lambda _host, pkt, now: trig.on_packet(pkt, now))
+        return trig
+
+    def watch_tcp_sender(self, sender: TcpSender,
+                         sink: AlertSink) -> TcpTimeoutTrigger:
+        """Install a timeout trigger for a locally originated TCP flow."""
+        trig = TcpTimeoutTrigger(self.sim, sender, self.host.name, sink,
+                                 store=self.store)
+        self.timeout_triggers.append(trig)
+        return trig
+
+    def stop_triggers(self) -> None:
+        for trig in self.triggers:
+            trig.stop()
+        for trig in self.timeout_triggers:
+            trig.stop()
+
+    # -- storage --------------------------------------------------------------
+
+    def flush_records(self) -> int:
+        """Spill in-memory records to local storage (MongoDB stand-in)."""
+        return self.store.flush_to_disk()

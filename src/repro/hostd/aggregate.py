@@ -1,0 +1,121 @@
+"""Network-wide aggregation queries over host records.
+
+PathDump's query surface (which SwitchPointer inherits, §4.2.2) goes
+beyond per-flow lookups: operators ask for traffic matrices, per-link
+heavy hitters, and per-flow activity over time.  These aggregators run
+analyzer-side over the per-host :class:`QueryResult` payloads so the
+hosts keep doing only cheap local scans.
+
+All functions take the ``{host: QueryResult}`` mapping returned by
+:meth:`repro.analyzer.analyzer.Analyzer.consult_hosts` (or the PathDump
+fan-out) so they compose with either system's collection strategy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Optional
+
+from ..core.epoch import EpochRange
+from ..simnet.packet import FlowKey
+from .query import FlowSummary, QueryResult
+
+
+def _summaries(results: Mapping[str, QueryResult]):
+    for host, res in results.items():
+        for summary in res.payload:
+            yield host, summary
+
+
+def traffic_matrix(results: Mapping[str, QueryResult]
+                   ) -> dict[tuple[str, str], int]:
+    """Bytes exchanged per (source host, destination host) pair."""
+    matrix: dict[tuple[str, str], int] = defaultdict(int)
+    for _, summary in _summaries(results):
+        matrix[(summary.flow.src, summary.flow.dst)] += summary.bytes
+    return dict(matrix)
+
+
+def bytes_per_switch(results: Mapping[str, QueryResult]
+                     ) -> dict[str, int]:
+    """Total recorded bytes that crossed each switch."""
+    per_switch: dict[str, int] = defaultdict(int)
+    for _, summary in _summaries(results):
+        for sw in summary.switch_path:
+            per_switch[sw] += summary.bytes
+    return dict(per_switch)
+
+
+def heavy_hitters_per_link(results: Mapping[str, QueryResult], *,
+                           top: int = 3
+                           ) -> dict[tuple[str, str], list[FlowSummary]]:
+    """The ``top`` largest flows per traversed (switch, next-hop) link.
+
+    The link is identified by consecutive switch-path entries (the last
+    hop toward the destination host included), matching how the §5.4
+    imbalance query groups by egress.
+    """
+    per_link: dict[tuple[str, str], list[FlowSummary]] = defaultdict(list)
+    for _, summary in _summaries(results):
+        nodes = list(summary.switch_path) + [summary.flow.dst]
+        for a, b in zip(nodes, nodes[1:]):
+            per_link[(a, b)].append(summary)
+    return {
+        link: sorted(flows, key=lambda s: (-s.bytes, s.flow))[:top]
+        for link, flows in per_link.items()
+    }
+
+
+def epoch_activity(results: Mapping[str, QueryResult], *,
+                   epochs: Optional[EpochRange] = None
+                   ) -> dict[int, int]:
+    """Bytes per (embedder-observed) epoch across all flows.
+
+    The per-epoch byte counts come straight from the flow records'
+    ``bytes_by_epoch`` — the same data the §5.1 alert carries.
+    """
+    activity: dict[int, int] = defaultdict(int)
+    for _, summary in _summaries(results):
+        for epoch, nbytes in summary.bytes_by_epoch.items():
+            if epochs is not None and epoch not in epochs:
+                continue
+            activity[epoch] += nbytes
+    return dict(activity)
+
+
+def flows_sharing_epoch(results: Mapping[str, QueryResult], switch: str,
+                        epoch: int) -> list[FlowSummary]:
+    """All flows whose epoch range at ``switch`` contains ``epoch`` —
+    the §5.2 'at least one common epochID' correlation primitive."""
+    out = []
+    for _, summary in _summaries(results):
+        rng = summary.epochs_at(switch)
+        if rng is not None and epoch in rng:
+            out.append(summary)
+    return sorted(out, key=lambda s: s.flow)
+
+
+def contention_groups(results: Mapping[str, QueryResult], switch: str
+                      ) -> list[list[FlowKey]]:
+    """Cluster flows at ``switch`` into groups with pairwise epoch
+    overlap — each group is a candidate contention event."""
+    entries = []
+    for _, summary in _summaries(results):
+        rng = summary.epochs_at(switch)
+        if rng is not None:
+            entries.append((summary.flow, rng))
+    entries.sort(key=lambda e: (e[1].lo, e[1].hi, e[0]))
+    groups: list[list] = []
+    current: list = []
+    current_hi = None
+    for flow, rng in entries:
+        if current and current_hi is not None and rng.lo > current_hi:
+            groups.append([f for f, _ in current])
+            current = []
+            current_hi = None
+        current.append((flow, rng))
+        current_hi = rng.hi if current_hi is None else max(current_hi,
+                                                           rng.hi)
+    if current:
+        groups.append([f for f, _ in current])
+    return groups

@@ -1,0 +1,140 @@
+"""Host-side query engine (§4.2.2, §5.4, §6.2).
+
+The analyzer sends hosts queries over the agent RPC; these are the query
+implementations PathDump/SwitchPointer hosts execute locally:
+
+* :meth:`QueryEngine.top_k_flows` — the Fig 12 "top-100 flows at a
+  switch" query.
+* :meth:`QueryEngine.flow_size_distribution` — the §5.4 load-imbalance
+  query, grouped by the egress interface (next hop after the suspect
+  switch).
+* :meth:`QueryEngine.flows_matching` — the generic (switchID, epochID)
+  header filter of §3.
+* :meth:`QueryEngine.flow_details` — telemetry for one flow (priority,
+  per-epoch bytes) used during contention diagnosis (§5.1).
+
+Every method reports ``records_scanned`` so the RPC latency model can
+charge execution cost proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.epoch import EpochRange
+from ..simnet.packet import FlowKey
+from .records import FlowRecord, FlowRecordStore
+
+
+@dataclass
+class QueryResult:
+    """Query payload + the execution-cost accounting the RPC model uses."""
+
+    payload: object
+    records_scanned: int = 0
+    records_returned: int = 0
+
+
+@dataclass
+class FlowSummary:
+    """Wire form of one flow's telemetry sent back to the analyzer."""
+
+    flow: FlowKey
+    bytes: int
+    packets: int
+    priority: int
+    switch_path: list[str] = field(default_factory=list)
+    epoch_ranges: dict[str, tuple[int, int]] = field(default_factory=dict)
+    bytes_by_epoch: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, rec: FlowRecord) -> "FlowSummary":
+        return cls(flow=rec.flow, bytes=rec.bytes, packets=rec.packets,
+                   priority=rec.priority,
+                   switch_path=list(rec.switch_path),
+                   epoch_ranges={sw: (r.lo, r.hi)
+                                 for sw, r in rec.epoch_ranges.items()},
+                   bytes_by_epoch=dict(rec.bytes_by_epoch))
+
+    def epochs_at(self, switch: str) -> Optional[EpochRange]:
+        pair = self.epoch_ranges.get(switch)
+        return EpochRange(*pair) if pair else None
+
+
+class QueryEngine:
+    """Executes analyzer queries against one host's record store."""
+
+    def __init__(self, store: FlowRecordStore):
+        self.store = store
+        self.queries_served = 0
+
+    def _scan(self, switch: Optional[str],
+              epochs: Optional[EpochRange]) -> tuple[list[FlowRecord], int]:
+        scanned = len(self.store)
+        if switch is None:
+            return list(self.store), scanned
+        return self.store.flows_through(switch, epochs), scanned
+
+    def top_k_flows(self, k: int, *, switch: Optional[str] = None,
+                    epochs: Optional[EpochRange] = None) -> QueryResult:
+        """The ``k`` largest flows (by bytes) seen through ``switch``."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.queries_served += 1
+        matches, scanned = self._scan(switch, epochs)
+        top = sorted(matches, key=lambda r: (-r.bytes, r.flow))[:k]
+        payload = [FlowSummary.of(r) for r in top]
+        return QueryResult(payload=payload, records_scanned=scanned,
+                           records_returned=len(payload))
+
+    def flow_size_distribution(self, *, switch: str,
+                               epochs: Optional[EpochRange] = None
+                               ) -> QueryResult:
+        """Flow sizes grouped by the next hop after ``switch``.
+
+        The next hop identifies the egress interface the suspect switch
+        used, which is exactly what the §5.4 imbalance diagnosis
+        compares across interfaces.
+        """
+        self.queries_served += 1
+        matches, scanned = self._scan(switch, epochs)
+        dist: dict[str, list[int]] = {}
+        for rec in matches:
+            nxt = self._next_hop_after(rec, switch)
+            dist.setdefault(nxt, []).append(rec.bytes)
+        return QueryResult(payload=dist, records_scanned=scanned,
+                           records_returned=len(matches))
+
+    def _next_hop_after(self, rec: FlowRecord, switch: str) -> str:
+        path = rec.switch_path
+        if switch in path:
+            idx = path.index(switch)
+            if idx + 1 < len(path):
+                return path[idx + 1]
+        return rec.flow.dst  # switch was the last hop: egress to the host
+
+    def all_flows(self) -> QueryResult:
+        """Every record on this host (path-conformance sweeps)."""
+        self.queries_served += 1
+        payload = [FlowSummary.of(r) for r in self.store]
+        return QueryResult(payload=payload,
+                           records_scanned=len(self.store),
+                           records_returned=len(payload))
+
+    def flows_matching(self, switch: str,
+                       epochs: Optional[EpochRange] = None) -> QueryResult:
+        """All flows whose headers match the (switchID, epochID) filter."""
+        self.queries_served += 1
+        matches, scanned = self._scan(switch, epochs)
+        payload = [FlowSummary.of(r) for r in matches]
+        return QueryResult(payload=payload, records_scanned=scanned,
+                           records_returned=len(payload))
+
+    def flow_details(self, flow: FlowKey) -> QueryResult:
+        """Telemetry for one flow (None payload when unknown here)."""
+        self.queries_served += 1
+        rec = self.store.get(flow)
+        payload = FlowSummary.of(rec) if rec else None
+        return QueryResult(payload=payload, records_scanned=1,
+                           records_returned=1 if rec else 0)

@@ -1,0 +1,207 @@
+"""End-host flow-record storage (§4.2, §6 prototype description).
+
+The paper's OVS module keeps, per flow: the 5-tuple, the list of
+switchIDs on the path, a series of epoch ranges corresponding to each
+switchID, byte/packet counts, and a DSCP value as flow priority —
+"initially maintained in memory and flushed to a local storage,
+implemented using MongoDB".  We reproduce the same record schema with an
+in-memory table plus a JSON-lines spill file standing in for MongoDB
+(the storage backend is irrelevant to system behaviour; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..core.epoch import EpochRange
+from ..simnet.packet import FlowKey
+
+
+@dataclass
+class FlowRecord:
+    """Telemetry accumulated for one flow at its destination host.
+
+    ``epoch_ranges`` maps switchID → the union of per-packet epoch
+    ranges at that switch; ``bytes_by_epoch`` counts payload bytes per
+    *observed* (embedding-switch) epochID — the "<switchID, a list of
+    epochIDs, a list of byte counts per epoch>" tuples of §5.1 are
+    assembled from these two.
+    """
+
+    flow: FlowKey
+    switch_path: list[str] = field(default_factory=list)
+    epoch_ranges: dict[str, EpochRange] = field(default_factory=dict)
+    bytes_by_epoch: dict[int, int] = field(default_factory=dict)
+    packets: int = 0
+    bytes: int = 0
+    priority: int = 0
+    first_seen: Optional[float] = None
+    last_seen: Optional[float] = None
+
+    def observe(self, *, nbytes: int, t: float, priority: int,
+                switch_path: list[str],
+                ranges: dict[str, EpochRange],
+                observed_epoch: Optional[int]) -> None:
+        """Fold one decoded packet into the record."""
+        self.packets += 1
+        self.bytes += nbytes
+        self.priority = priority
+        if self.first_seen is None:
+            self.first_seen = t
+        self.last_seen = t
+        if switch_path:
+            self.switch_path = list(switch_path)
+        for sw, rng in ranges.items():
+            prev = self.epoch_ranges.get(sw)
+            self.epoch_ranges[sw] = rng if prev is None else prev.union(rng)
+        if observed_epoch is not None:
+            self.bytes_by_epoch[observed_epoch] = (
+                self.bytes_by_epoch.get(observed_epoch, 0) + nbytes)
+
+    def epochs_at(self, switch: str) -> Optional[EpochRange]:
+        return self.epoch_ranges.get(switch)
+
+    def traversed(self, switch: str) -> bool:
+        return switch in self.epoch_ranges
+
+    # -- (de)serialization for the disk spill --------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "flow": list(self.flow),
+            "switch_path": self.switch_path,
+            "epoch_ranges": {sw: [r.lo, r.hi]
+                             for sw, r in self.epoch_ranges.items()},
+            "bytes_by_epoch": {str(e): b
+                               for e, b in self.bytes_by_epoch.items()},
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "priority": self.priority,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FlowRecord":
+        rec = cls(flow=FlowKey(*doc["flow"]))
+        rec.switch_path = list(doc["switch_path"])
+        rec.epoch_ranges = {sw: EpochRange(lo, hi)
+                            for sw, (lo, hi) in doc["epoch_ranges"].items()}
+        rec.bytes_by_epoch = {int(e): b
+                              for e, b in doc["bytes_by_epoch"].items()}
+        rec.packets = doc["packets"]
+        rec.bytes = doc["bytes"]
+        rec.priority = doc["priority"]
+        rec.first_seen = doc["first_seen"]
+        rec.last_seen = doc["last_seen"]
+        return rec
+
+
+class FlowRecordStore:
+    """Per-host table of :class:`FlowRecord`, with optional disk spill.
+
+    ``max_records`` bounds the in-memory table the way the paper's OVS
+    module does ("initially maintained in memory and flushed to a local
+    storage"): when the bound is exceeded, the stalest records (by
+    ``last_seen``) are spilled to disk (or dropped if no spill path is
+    configured) until the table is back under the bound.
+    """
+
+    def __init__(self, host_name: str,
+                 spill_path: Optional[Path] = None,
+                 max_records: Optional[int] = None):
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.host_name = host_name
+        self.spill_path = Path(spill_path) if spill_path else None
+        self.max_records = max_records
+        self._records: dict[FlowKey, FlowRecord] = {}
+        self.spilled = 0
+        self.evicted = 0
+
+    def record_for(self, flow: FlowKey) -> FlowRecord:
+        rec = self._records.get(flow)
+        if rec is None:
+            rec = FlowRecord(flow=flow)
+            self._records[flow] = rec
+            if (self.max_records is not None
+                    and len(self._records) > self.max_records):
+                self._evict()
+        return rec
+
+    def _evict(self) -> None:
+        """Spill/drop stalest records until under the memory bound."""
+        assert self.max_records is not None
+        # a record with no observation yet is the one being created
+        # right now — never the eviction victim
+        by_staleness = sorted(
+            self._records.values(),
+            key=lambda r: (r.last_seen if r.last_seen is not None
+                           else float("inf")))
+        excess = len(self._records) - self.max_records
+        victims = by_staleness[:excess]
+        if self.spill_path is not None:
+            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.spill_path.open("a", encoding="utf-8") as fh:
+                for rec in victims:
+                    fh.write(json.dumps(rec.to_json()) + "\n")
+                    self.spilled += 1
+        for rec in victims:
+            del self._records[rec.flow]
+            self.evicted += 1
+
+    def get(self, flow: FlowKey) -> Optional[FlowRecord]:
+        return self._records.get(flow)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._records.values())
+
+    def flows_through(self, switch: str,
+                      epochs: Optional[EpochRange] = None
+                      ) -> list[FlowRecord]:
+        """Records whose path crossed ``switch`` (in ``epochs``, if given).
+
+        This is the header-filtering primitive of §3: "filter the headers
+        for packets that match a (switchID, epochID) pair".
+        """
+        out = []
+        for rec in self._records.values():
+            rng = rec.epochs_at(switch)
+            if rng is None:
+                continue
+            if epochs is not None and not rng.intersects(epochs):
+                continue
+            out.append(rec)
+        return out
+
+    # -- MongoDB-substitute spill --------------------------------------------
+
+    def flush_to_disk(self) -> int:
+        """Append all in-memory records to the JSON-lines spill file."""
+        if self.spill_path is None:
+            raise RuntimeError("no spill path configured")
+        self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.spill_path.open("a", encoding="utf-8") as fh:
+            for rec in self._records.values():
+                fh.write(json.dumps(rec.to_json()) + "\n")
+                self.spilled += 1
+        return self.spilled
+
+    @classmethod
+    def load_from_disk(cls, host_name: str,
+                       spill_path: Path) -> "FlowRecordStore":
+        store = cls(host_name, spill_path=spill_path)
+        with Path(spill_path).open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = FlowRecord.from_json(json.loads(line))
+                store._records[rec.flow] = rec
+        return store

@@ -1,0 +1,5 @@
+"""Simulated control-plane RPC (flask/HTTP substitute) with latency model."""
+
+from .fabric import Breakdown, LatencyModel, RpcFabric
+
+__all__ = ["LatencyModel", "RpcFabric", "Breakdown"]

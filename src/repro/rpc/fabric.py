@@ -1,0 +1,125 @@
+"""Simulated control-plane RPC fabric with a calibrated latency model.
+
+The paper's control plane is flask-over-HTTP; its measured latencies
+(Figs 7, 8, 12) are dominated by **on-demand connection initiation**:
+"the analyzer creates one thread per server to initiate connection when
+a query should be executed.  This on-demand thread creation delays the
+execution of query at servers" (§6.2).  That serialized per-server setup
+is why both PathDump's and SwitchPointer's response times grow linearly
+with the number of servers contacted — and why SwitchPointer wins by
+contacting only the *relevant* servers.
+
+:class:`LatencyModel` carries the constants, calibrated to the paper's
+reported numbers:
+
+* problem detection ≲ 1 ms (the 1 ms trigger window),
+* alert + acknowledgment: 2–3 ms,
+* pointer retrieval: 7–8 ms per switch,
+* per-server connection initiation: ~3.3 ms (0.32 s / 96 servers),
+* query execution & response: ~1 ms each plus per-record scan time.
+
+:class:`RpcFabric` composes them the way the implementation would:
+connection setups serialize on the analyzer; request/execute/response
+run in parallel across servers once their connections exist.  A
+``pooled`` flag models the §6.2 thread-pool optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..hostd.query import QueryResult
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Constants of the control-plane cost model (seconds)."""
+
+    connection_init_s: float = 3.3e-3   # per server, serialized (§6.2)
+    pooled_dispatch_s: float = 0.15e-3  # per server with a thread pool
+    alert_rtt_s: float = 2.5e-3         # host alert -> analyzer ack (§5.1)
+    pointer_pull_s: float = 7.5e-3      # per switch pointer retrieval (§5.1)
+    request_s: float = 0.8e-3           # query request wire time
+    exec_base_s: float = 0.9e-3         # query execution, fixed part
+    per_record_s: float = 4e-6          # query execution, per record scanned
+    response_s: float = 0.8e-3          # response wire time
+
+
+@dataclass
+class Breakdown:
+    """Accumulated latency by phase (the Fig 7 / Fig 12 bar segments)."""
+
+    parts: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.parts[phase] = self.parts.get(phase, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.parts.values())
+
+    def merged(self, other: "Breakdown") -> "Breakdown":
+        out = Breakdown(dict(self.parts))
+        for phase, s in other.parts.items():
+            out.add(phase, s)
+        return out
+
+
+class RpcFabric:
+    """Latency-accounted RPC between analyzer, switches, and hosts."""
+
+    def __init__(self, model: Optional[LatencyModel] = None, *,
+                 pooled: bool = False):
+        self.model = model if model is not None else LatencyModel()
+        self.pooled = pooled
+        self.calls = 0
+
+    # -- elementary costs -----------------------------------------------------
+
+    def alert_cost(self) -> float:
+        """Host → analyzer alert plus acknowledgment."""
+        self.calls += 1
+        return self.model.alert_rtt_s
+
+    def pointer_pull_cost(self, n_switches: int) -> float:
+        """Retrieve pointers from ``n_switches`` (sequential pulls)."""
+        if n_switches < 0:
+            raise ValueError("switch count cannot be negative")
+        self.calls += n_switches
+        return n_switches * self.model.pointer_pull_s
+
+    def _setup_cost(self, n_servers: int) -> float:
+        per = (self.model.pooled_dispatch_s if self.pooled
+               else self.model.connection_init_s)
+        return n_servers * per
+
+    # -- fan-out query --------------------------------------------------------
+
+    def fanout_query(self, servers: Sequence[str],
+                     execute: Callable[[str], QueryResult]
+                     ) -> tuple[dict[str, QueryResult], Breakdown]:
+        """Run ``execute(server)`` on every server, with the §6.2 model.
+
+        Connection initiations serialize on the analyzer; request,
+        execution and response then proceed in parallel across servers
+        (total = slowest server).  Returns per-server results plus the
+        latency breakdown in the Fig 12 categories.
+        """
+        bd = Breakdown()
+        results: dict[str, QueryResult] = {}
+        if not servers:
+            return results, bd
+        self.calls += len(servers)
+        bd.add("connection_initiation", self._setup_cost(len(servers)))
+        bd.add("request", self.model.request_s)
+        slowest_exec = 0.0
+        for server in servers:
+            res = execute(server)
+            results[server] = res
+            cost = (self.model.exec_base_s
+                    + res.records_scanned * self.model.per_record_s)
+            slowest_exec = max(slowest_exec, cost)
+        bd.add("query_execution", slowest_exec)
+        bd.add("response", self.model.response_s)
+        return results, bd

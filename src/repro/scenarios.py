@@ -1,0 +1,438 @@
+"""Reusable experiment scenarios — one per paper figure.
+
+Each function builds the topology, instruments it with SwitchPointer,
+runs the workload, and returns a result object holding the measured
+series plus the live deployment (so callers can go on to run diagnoses).
+Examples, tests, and the benchmark harness all share these definitions,
+guaranteeing the numbers in EXPERIMENTS.md come from the same code the
+test suite validates.
+
+Scenario ↔ figure map
+---------------------
+========================================  ==========================
+:func:`run_contention_scenario`           Fig 2(a)/2(b), Fig 7
+:func:`run_red_lights_scenario`           Fig 3  (and §5.2 diagnosis)
+:func:`run_cascades_scenario`             Fig 4  (and §5.3 diagnosis)
+:func:`run_load_imbalance_scenario`       Fig 8  (§5.4 diagnosis)
+========================================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .analyzer.apps import Verdict
+from .deployment import SwitchPointerDeployment
+from .hostd.triggers import VictimAlert
+from .simnet.engine import Simulator
+from .simnet.packet import PRIO_HIGH, PRIO_LOW, PRIO_MEDIUM, FlowKey
+from .simnet.queues import DropTailFIFO, StrictPriorityQueue
+from .simnet.stats import InterArrivalProbe, ThroughputProbe, attach_flow_tap
+from .simnet.topology import Network
+from .simnet.traffic import (TcpBulkTransfer, TcpTimedFlow, UdpCbrSource,
+                             UdpSink, schedule_burst_batches)
+
+#: Pica8-class deep shared buffer (the paper's testbed switch family has
+#: multi-MB packet memory; a shallow buffer would clip the starvation
+#: episodes that Fig 2 shows at m = 8, 16).
+DEEP_BUFFER_BYTES = 4 * 1024 * 1024
+GBPS = 1e9
+
+
+def _priority_queue() -> StrictPriorityQueue:
+    return StrictPriorityQueue(levels=3, capacity_bytes=DEEP_BUFFER_BYTES)
+
+
+def _fifo_queue() -> DropTailFIFO:
+    return DropTailFIFO(capacity_bytes=DEEP_BUFFER_BYTES)
+
+
+# ---------------------------------------------------------------------------
+# Fig 2 / Fig 7: too much traffic (priority + microburst contention)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ContentionResult:
+    """Output of one Fig 2 run (a single burst size m)."""
+
+    m_flows: int
+    discipline: str
+    throughput: ThroughputProbe
+    interarrival: InterArrivalProbe
+    deployment: SwitchPointerDeployment
+    network: Network
+    victim: FlowKey
+    burst_start: float
+    burst_duration: float
+    alerts: list[VictimAlert] = field(default_factory=list)
+    tcp_timeouts: int = 0
+
+    def starvation_ms(self) -> float:
+        """Length of the post-burst window with ~zero victim throughput."""
+        zero = 0.0
+        for t, gbps in self.throughput.series():
+            if t < self.burst_start:
+                continue
+            if gbps < 0.02:
+                zero += self.throughput.window
+        return zero * 1000
+
+    def max_gap_ms(self) -> float:
+        """Largest victim inter-packet gap around the burst."""
+        return self.interarrival.max_gap_in(
+            self.burst_start, self.burst_start + 0.040) * 1000
+
+
+def run_contention_scenario(m_flows: int, *, discipline: str = "priority",
+                            duration: float = 0.100,
+                            burst_start: float = 0.030,
+                            burst_duration: float = 0.001,
+                            alpha_ms: int = 10, k: int = 3,
+                            epsilon_ms: float = 1.0, delta_ms: float = 2.0,
+                            watch: bool = True) -> ContentionResult:
+    """One Fig 2 cell: a victim TCP flow vs an m-flow UDP burst.
+
+    Topology: dumbbell — senders behind S1, receivers behind S2, all
+    burst flows have distinct source-destination pairs and share the
+    S1→S2 trunk with the victim (Fig 1(a)).  ``discipline`` selects
+    strict priority (Fig 2a) or FIFO (Fig 2b).
+    """
+    if discipline not in ("priority", "fifo"):
+        raise ValueError("discipline must be 'priority' or 'fifo'")
+    qf = _priority_queue if discipline == "priority" else _fifo_queue
+    net = _build_dumbbell(m_flows, queue_factory=qf)
+    deploy = SwitchPointerDeployment(net, alpha_ms=alpha_ms, k=k,
+                                     epsilon_ms=epsilon_ms,
+                                     delta_ms=delta_ms)
+    sim = net.sim
+
+    tput = ThroughputProbe(window=0.001)
+    ia = InterArrivalProbe()
+
+    def on_payload(pkt, t):
+        tput.on_packet(pkt, t)
+        ia.on_packet(pkt, t)
+
+    victim_app = TcpTimedFlow(sim, net.hosts["h1_0"], net.hosts["h2_0"],
+                              duration=duration, sport=100, dport=200,
+                              priority=PRIO_LOW, on_payload=on_payload)
+    victim = victim_app.sender.flow
+    trigger = deploy.watch_flow(victim) if watch else None
+
+    burst_prio = PRIO_HIGH if discipline == "priority" else PRIO_LOW
+    senders = [net.hosts[f"h1_{j}"] for j in range(1, m_flows + 1)]
+    receivers = [f"h2_{j}" for j in range(1, m_flows + 1)]
+    for j in range(1, m_flows + 1):
+        UdpSink(net.hosts[f"h2_{j}"], 7000)
+    schedule_burst_batches(sim, senders, receivers, flow_counts=[m_flows],
+                           first_start=burst_start,
+                           burst_duration=burst_duration,
+                           priority=burst_prio)
+    net.run(until=duration + 0.050)
+    if trigger is not None:
+        trigger.stop()
+    return ContentionResult(
+        m_flows=m_flows, discipline=discipline, throughput=tput,
+        interarrival=ia, deployment=deploy, network=net, victim=victim,
+        burst_start=burst_start, burst_duration=burst_duration,
+        alerts=list(deploy.alerts()),
+        tcp_timeouts=victim_app.sender.timeouts)
+
+
+def _build_dumbbell(m_flows: int, *, queue_factory) -> Network:
+    """S1—S2 trunk; m+1 sender/receiver pairs on opposite sides."""
+    net = Network()
+    s1 = net.add_switch("S1")
+    s2 = net.add_switch("S2")
+    net.connect(s1, s2, rate_bps=GBPS, queue_factory=queue_factory)
+    for i in range(m_flows + 1):
+        a = net.add_host(f"h1_{i}")
+        b = net.add_host(f"h2_{i}")
+        net.connect(a, s1, rate_bps=GBPS, queue_factory=queue_factory)
+        net.connect(b, s2, rate_bps=GBPS, queue_factory=queue_factory)
+    net.compute_routes()
+    return net
+
+
+# ---------------------------------------------------------------------------
+# Fig 3: too many red lights
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RedLightsResult:
+    """Output of the Fig 3 run."""
+
+    deployment: SwitchPointerDeployment
+    network: Network
+    victim: FlowKey
+    tput_at_s1: ThroughputProbe      # victim throughput leaving S1
+    tput_at_s2: ThroughputProbe      # victim throughput leaving S2
+    tput_at_dst: ThroughputProbe
+    alerts: list[VictimAlert] = field(default_factory=list)
+    burst1: tuple[float, float] = (0.0, 0.0)   # (start, duration) at S1
+    burst2: tuple[float, float] = (0.0, 0.0)   # at S2
+
+
+def build_red_lights_network() -> Network:
+    """Fig 1(b): A,B—S1—S2—S3—E,F with C,D on S2."""
+    net = Network()
+    s1, s2, s3 = (net.add_switch(n) for n in ("S1", "S2", "S3"))
+    net.connect(s1, s2, rate_bps=GBPS, queue_factory=_priority_queue)
+    net.connect(s2, s3, rate_bps=GBPS, queue_factory=_priority_queue)
+    placement = {"A": s1, "B": s1, "C": s2, "D": s2, "E": s3, "F": s3}
+    for name, sw in placement.items():
+        host = net.add_host(name)
+        net.connect(host, sw, rate_bps=GBPS,
+                    queue_factory=_priority_queue)
+    net.compute_routes()
+    return net
+
+
+def run_red_lights_scenario(*, burst_duration: float = 0.0004,
+                            first_burst: float = 0.005,
+                            tcp_duration: float = 0.010,
+                            alpha_ms: int = 10, k: int = 3,
+                            epsilon_ms: float = 1.0,
+                            delta_ms: float = 2.0) -> RedLightsResult:
+    """Fig 1(b)/Fig 3: sequential 400 µs red lights at S1 then S2.
+
+    Low-priority TCP A→F crosses S1,S2,S3.  High-priority UDP B→D hits
+    the S1→S2 trunk for 400 µs; as it ends, UDP C→E hits the S2→S3
+    trunk for another 400 µs.  The victim's throughput degrades at S1
+    and again, cumulatively, at S2.
+    """
+    net = build_red_lights_network()
+    deploy = SwitchPointerDeployment(net, alpha_ms=alpha_ms, k=k,
+                                     epsilon_ms=epsilon_ms,
+                                     delta_ms=delta_ms)
+    sim = net.sim
+
+    tput_dst = ThroughputProbe(window=0.0005)
+    victim_app = TcpTimedFlow(sim, net.hosts["A"], net.hosts["F"],
+                              duration=tcp_duration, sport=100, dport=200,
+                              priority=PRIO_LOW,
+                              on_payload=tput_dst.on_packet)
+    victim = victim_app.sender.flow
+    deploy.watch_flow(victim, window=0.001)
+
+    tput_s1 = ThroughputProbe(window=0.0005)
+    tput_s2 = ThroughputProbe(window=0.0005)
+    attach_flow_tap(net.link_between("S1", "S2").iface_of(
+        net.switches["S1"]), victim, tput_s1)
+    attach_flow_tap(net.link_between("S2", "S3").iface_of(
+        net.switches["S2"]), victim, tput_s2)
+
+    UdpSink(net.hosts["D"], 7100)
+    UdpSink(net.hosts["E"], 7200)
+    second_burst = first_burst + burst_duration
+    UdpCbrSource(sim, net.hosts["B"], "D", sport=7100, dport=7100,
+                 rate_bps=GBPS, priority=PRIO_HIGH, start=first_burst,
+                 duration=burst_duration)
+    UdpCbrSource(sim, net.hosts["C"], "E", sport=7200, dport=7200,
+                 rate_bps=GBPS, priority=PRIO_HIGH, start=second_burst,
+                 duration=burst_duration)
+    net.run(until=tcp_duration + 0.020)
+    return RedLightsResult(
+        deployment=deploy, network=net, victim=victim,
+        tput_at_s1=tput_s1, tput_at_s2=tput_s2, tput_at_dst=tput_dst,
+        alerts=list(deploy.alerts()),
+        burst1=(first_burst, burst_duration),
+        burst2=(second_burst, burst_duration))
+
+
+# ---------------------------------------------------------------------------
+# Fig 4: traffic cascades
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CascadesResult:
+    """Output of one Fig 4 run (with or without the cascade)."""
+
+    cascaded: bool
+    deployment: SwitchPointerDeployment
+    network: Network
+    tput_bd: ThroughputProbe
+    tput_af: ThroughputProbe
+    tput_ce: ThroughputProbe
+    flow_bd: FlowKey
+    flow_af: FlowKey
+    flow_ce: FlowKey
+    ce_completed_at: Optional[float]
+    alerts: list[VictimAlert] = field(default_factory=list)
+
+
+def build_cascades_network(*, reroute_bd: bool) -> Network:
+    """Fig 1(c) topology; ``reroute_bd`` gives B a bypass to S2.
+
+    With the bypass (the no-cascade baseline), flow B→D reaches D via
+    S1b→S2 without touching the S1→S2 trunk — standing in for "B-D on a
+    different path" before the failure reroutes it.
+    """
+    net = Network()
+    s1, s2, s3 = (net.add_switch(n) for n in ("S1", "S2", "S3"))
+    net.connect(s1, s2, rate_bps=GBPS, queue_factory=_priority_queue)
+    net.connect(s2, s3, rate_bps=GBPS, queue_factory=_priority_queue)
+    placement = {"A": s1, "C": s2, "D": s2, "E": s3, "F": s3}
+    if reroute_bd:
+        s1b = net.add_switch("S1b")
+        net.connect(s1b, s2, rate_bps=GBPS, queue_factory=_priority_queue)
+        placement["B"] = s1b
+    else:
+        placement["B"] = s1
+    for name, sw in placement.items():
+        host = net.add_host(name)
+        net.connect(host, sw, rate_bps=GBPS,
+                    queue_factory=_priority_queue)
+    net.compute_routes()
+    return net
+
+
+def run_cascades_scenario(*, cascaded: bool = True,
+                          udp_duration: float = 0.010,
+                          ce_bytes: int = 2_000_000,
+                          ce_start: float = 0.012,
+                          alpha_ms: int = 10, k: int = 3,
+                          epsilon_ms: float = 1.0,
+                          delta_ms: float = 2.0) -> CascadesResult:
+    """Fig 1(c)/Fig 4: B→D (high) delays A→F (middle) delays C→E (low).
+
+    ``cascaded=False`` reroutes B→D off the S1→S2 trunk, so A→F drains
+    on time and C→E finds an idle S2→S3 trunk (Fig 4(a)); with
+    ``cascaded=True`` the chain of delays forms (Fig 4(b)).
+    """
+    net = build_cascades_network(reroute_bd=not cascaded)
+    deploy = SwitchPointerDeployment(net, alpha_ms=alpha_ms, k=k,
+                                     epsilon_ms=epsilon_ms,
+                                     delta_ms=delta_ms)
+    sim = net.sim
+
+    tput_bd = ThroughputProbe(window=0.001)
+    tput_af = ThroughputProbe(window=0.001)
+    tput_ce = ThroughputProbe(window=0.001)
+
+    UdpSink(net.hosts["D"], 7100,
+            on_packet=tput_bd.on_packet)
+    UdpSink(net.hosts["F"], 7300,
+            on_packet=tput_af.on_packet)
+
+    src_bd = UdpCbrSource(sim, net.hosts["B"], "D", sport=7100, dport=7100,
+                          rate_bps=GBPS, priority=PRIO_HIGH, start=0.0,
+                          duration=udp_duration)
+    src_af = UdpCbrSource(sim, net.hosts["A"], "F", sport=7300, dport=7300,
+                          rate_bps=GBPS, priority=PRIO_MEDIUM, start=0.0,
+                          duration=udp_duration)
+    ce_app = TcpBulkTransfer(sim, net.hosts["C"], net.hosts["E"],
+                             nbytes=ce_bytes, sport=100, dport=200,
+                             priority=PRIO_LOW, start=ce_start,
+                             on_payload=tput_ce.on_packet)
+    flow_ce = ce_app.sender.flow
+    deploy.watch_flow(flow_ce, window=0.001)
+
+    net.run(until=0.080)
+    return CascadesResult(
+        cascaded=cascaded, deployment=deploy, network=net,
+        tput_bd=tput_bd, tput_af=tput_af, tput_ce=tput_ce,
+        flow_bd=src_bd.flow, flow_af=src_af.flow, flow_ce=flow_ce,
+        ce_completed_at=ce_app.completed_at,
+        alerts=list(deploy.alerts()))
+
+
+# ---------------------------------------------------------------------------
+# Fig 8 / §5.4: load imbalance
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LoadImbalanceResult:
+    """Output of one Fig 8 run (n servers with relevant flows)."""
+
+    n_servers: int
+    deployment: SwitchPointerDeployment
+    network: Network
+    suspect_switch: str
+    flow_sizes: dict[FlowKey, int]
+    small_egress: str
+    large_egress: str
+    last_epoch: int
+
+
+def build_load_imbalance_network(n_servers: int) -> Network:
+    """Senders behind S1; S1 reaches S2 via two spines (two egresses).
+
+    Trunk links are fat (100 Gbps) on purpose: the §5.4 experiment is
+    about the *forwarding split*, not congestion — at 96 concurrent
+    flows the aggregate must not saturate the spines, or drops would
+    blur the received-size separation the diagnosis looks for.
+    """
+    net = Network()
+    s1 = net.add_switch("S1")
+    spine_a = net.add_switch("SPA")
+    spine_b = net.add_switch("SPB")
+    s2 = net.add_switch("S2")
+    for spine in (spine_a, spine_b):
+        net.connect(s1, spine, rate_bps=100 * GBPS,
+                    queue_factory=_fifo_queue)
+        net.connect(spine, s2, rate_bps=100 * GBPS,
+                    queue_factory=_fifo_queue)
+    for i in range(n_servers):
+        tx = net.add_host(f"tx{i}")
+        rx = net.add_host(f"rx{i}")
+        net.connect(tx, s1, rate_bps=10 * GBPS, queue_factory=_fifo_queue)
+        net.connect(rx, s2, rate_bps=10 * GBPS, queue_factory=_fifo_queue)
+    net.compute_routes()
+    return net
+
+
+def run_load_imbalance_scenario(n_servers: int, *,
+                                small_bytes: int = 500_000,
+                                large_bytes: int = 2_000_000,
+                                size_threshold: int = 1_000_000,
+                                alpha_ms: int = 10,
+                                k: int = 3) -> LoadImbalanceResult:
+    """§5.4: a malfunctioning switch splits flows by size across egresses.
+
+    ``n_servers`` flows (alternating small/large), each to a distinct
+    receiver — the Fig 8 x-axis is exactly the number of servers holding
+    relevant flow records.
+    """
+    if n_servers < 2:
+        raise ValueError("need at least two servers for two size classes")
+    net = build_load_imbalance_network(n_servers)
+    deploy = SwitchPointerDeployment(net, alpha_ms=alpha_ms, k=k)
+    sim = net.sim
+    s1 = net.switches["S1"]
+
+    flow_sizes: dict[FlowKey, int] = {}
+    sources: list[UdpCbrSource] = []
+    for i in range(n_servers):
+        UdpSink(net.hosts[f"rx{i}"], 7000)
+        nbytes = small_bytes if i % 2 == 0 else large_bytes
+        rate = 2 * GBPS
+        duration = nbytes * 8 / rate
+        src = UdpCbrSource(sim, net.hosts[f"tx{i}"], f"rx{i}", sport=7000,
+                           dport=7000, rate_bps=rate, packet_size=1500,
+                           priority=PRIO_LOW, start=0.0,
+                           duration=duration)
+        flow_sizes[src.flow] = nbytes
+        sources.append(src)
+
+    # The malfunction: flows under the threshold exit via spine A,
+    # the rest via spine B (the paper's misconfigured interface split).
+    iface_a = net.link_between("S1", "SPA").iface_of(s1)
+    iface_b = net.link_between("S1", "SPB").iface_of(s1)
+
+    def malfunction(pkt, candidates):
+        if iface_a not in candidates or iface_b not in candidates:
+            return None
+        size = flow_sizes.get(pkt.flow)
+        if size is None:
+            return None
+        return iface_a if size < size_threshold else iface_b
+
+    s1.forwarding_override = malfunction
+    net.run(until=0.050)
+    last_epoch = deploy.datapaths["S1"].clock.epoch_of(sim.now)
+    return LoadImbalanceResult(
+        n_servers=n_servers, deployment=deploy, network=net,
+        suspect_switch="S1", flow_sizes=flow_sizes,
+        small_egress="SPA", large_egress="SPB", last_epoch=last_epoch)

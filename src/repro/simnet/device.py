@@ -1,0 +1,119 @@
+"""Switch dataplane device.
+
+A :class:`Switch` owns a set of interfaces (one per attached link), a
+destination-based forwarding table, and a pipeline of hooks that run on
+every forwarded packet.  The SwitchPointer switch component
+(:mod:`repro.switchd.datapath`) attaches itself as such a hook — the
+simulator core stays monitoring-agnostic.
+
+ECMP is supported by storing several candidate egress interfaces per
+destination and hashing the flow key, which keeps a flow on one path
+(per-flow consistent hashing, as datacenter switches do).
+
+The ``forwarding_override`` hook reproduces the §5.4 load-imbalance
+scenario: the paper configures a switch to "malfunction" and split flows
+across egress interfaces by flow size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .engine import Simulator
+from .link import Interface
+from .packet import FlowKey, Packet
+
+#: Pipeline hook signature: (switch, packet, in_iface, out_iface).
+PipelineHook = Callable[["Switch", Packet, Optional[Interface], Interface],
+                        None]
+#: Override signature: (packet, candidate egress interfaces) -> chosen one
+#: (or None to fall through to the default ECMP choice).
+ForwardingOverride = Callable[[Packet, list[Interface]],
+                              Optional[Interface]]
+
+
+def _flow_hash(key: FlowKey) -> int:
+    """Deterministic per-flow hash for ECMP (stable across runs).
+
+    FNV-1a with a murmur-style finalizer: plain FNV's low bit is linear
+    in the input's parity, which makes ``hash % 2`` blind to symmetric
+    field changes (e.g. sport and dport varied together) — a real ECMP
+    hash must not have that artifact.
+    """
+    h = 2166136261
+    for part in key:
+        for ch in str(part):
+            h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x45D9F3B) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h
+
+
+class Switch:
+    """Output-queued switch with a static destination-based FIB."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.interfaces: list[Interface] = []
+        # dst host name -> list of candidate egress interfaces (ECMP set)
+        self._fib: dict[str, list[Interface]] = {}
+        self.pipeline: list[PipelineHook] = []
+        self.forwarding_override: Optional[ForwardingOverride] = None
+        self.rx_packets = 0
+        self.forwarded = 0
+        self.no_route_drops = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, iface: Interface) -> None:
+        """Register an interface created by a Link for this switch."""
+        if iface.owner is not self:
+            raise ValueError("interface is not owned by this switch")
+        self.interfaces.append(iface)
+
+    def install_route(self, dst: str, iface: Interface) -> None:
+        """Add ``iface`` to the ECMP candidate set for ``dst``."""
+        self._fib.setdefault(dst, [])
+        if iface not in self._fib[dst]:
+            self._fib[dst].append(iface)
+
+    def clear_routes(self) -> None:
+        self._fib.clear()
+
+    def routes_for(self, dst: str) -> list[Interface]:
+        return list(self._fib.get(dst, []))
+
+    @property
+    def port_count(self) -> int:
+        return len(self.interfaces)
+
+    # -- dataplane -----------------------------------------------------------
+
+    def receive(self, pkt: Packet, iface: Interface) -> None:
+        self.rx_packets += 1
+        self.forward(pkt, in_iface=iface)
+
+    def inject(self, pkt: Packet) -> None:
+        """Feed a locally originated packet into the pipeline (tests)."""
+        self.forward(pkt, in_iface=None)
+
+    def forward(self, pkt: Packet, in_iface: Optional[Interface]) -> None:
+        candidates = self._fib.get(pkt.dst)
+        if not candidates:
+            self.no_route_drops += 1
+            return
+        out = None
+        if self.forwarding_override is not None:
+            out = self.forwarding_override(pkt, list(candidates))
+        if out is None:
+            out = candidates[_flow_hash(pkt.flow) % len(candidates)]
+        pkt.record_hop(self.name)
+        for hook in self.pipeline:
+            hook(self, pkt, in_iface, out)
+        self.forwarded += 1
+        out.send(pkt)
+
+    def __repr__(self) -> str:
+        return f"Switch({self.name}, ports={self.port_count})"

@@ -1,0 +1,172 @@
+"""Links, interfaces, and the transmission model.
+
+A :class:`Link` joins two nodes with a full-duplex channel: each direction
+has its own :class:`Interface` (output queue + serializer).  The
+transmission model is store-and-forward:
+
+* a packet occupies the transmitter for ``size * 8 / rate`` seconds
+  (serialization delay), then
+* arrives at the peer after ``propagation_delay`` more seconds.
+
+Only one packet serializes at a time per direction; everything else waits
+in the interface's output queue.  That queue is where all of the paper's
+§2 contention effects materialize.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailFIFO, PacketQueue
+
+_link_ids = itertools.count(0)
+
+
+@runtime_checkable
+class Node(Protocol):
+    """Anything that can terminate a link."""
+
+    name: str
+
+    def receive(self, pkt: Packet, iface: "Interface") -> None:
+        """Handle a packet arriving on ``iface``."""
+
+
+class Interface:
+    """One direction of a link: output queue + transmitter at a node.
+
+    Attributes
+    ----------
+    owner:
+        The node this interface belongs to (packets leave ``owner``).
+    peer_node:
+        The node at the far end (packets arrive there).
+    link:
+        The parent :class:`Link`.
+    queue:
+        The output queue; replaceable before traffic starts to select a
+        discipline (FIFO vs strict priority).
+    """
+
+    def __init__(self, sim: Simulator, owner: Node, link: "Link",
+                 queue: Optional[PacketQueue] = None):
+        self.sim = sim
+        self.owner = owner
+        self.link = link
+        self.peer_node: Optional[Node] = None  # set by Link
+        self.peer_iface: Optional["Interface"] = None  # set by Link
+        self.queue: PacketQueue = queue if queue is not None else DropTailFIFO()
+        self.busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        #: Optional taps called with each packet as it begins serialization;
+        #: used by per-switch throughput probes (Fig 3 measures the same
+        #: flow's throughput *at S1* and *at S2*).
+        self.tx_taps: list[Callable[[Packet, float], None]] = []
+
+    @property
+    def name(self) -> str:
+        return f"{self.owner.name}->{self.peer_node.name if self.peer_node else '?'}"
+
+    def send(self, pkt: Packet) -> bool:
+        """Queue ``pkt`` for transmission; returns False if tail-dropped."""
+        if not self.queue.enqueue(pkt):
+            return False
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        pkt = self.queue.dequeue()
+        if pkt is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_time = pkt.size * 8 / self.link.rate_bps
+        for tap in self.tx_taps:
+            tap(pkt, self.sim.now)
+        self.tx_packets += 1
+        self.tx_bytes += pkt.size
+        self.sim.schedule(tx_time, self._finish_tx, pkt)
+
+    def _finish_tx(self, pkt: Packet) -> None:
+        # Deliver after propagation; free the transmitter immediately.
+        self.sim.schedule(self.link.propagation_delay, self._deliver, pkt)
+        self._start_next()
+
+    def _deliver(self, pkt: Packet) -> None:
+        assert self.peer_node is not None and self.peer_iface is not None
+        self.peer_node.receive(pkt, self.peer_iface)
+
+
+class Link:
+    """Full-duplex point-to-point link between two nodes.
+
+    Parameters
+    ----------
+    rate_bps:
+        Line rate in bits per second (paper testbeds: 1 and 10 Gbps).
+    propagation_delay:
+        One-way propagation in seconds (datacenter scale: a few µs).
+    queue_factory:
+        Zero-argument callable producing the output queue for each
+        direction; defaults to :class:`DropTailFIFO`.
+    """
+
+    def __init__(self, sim: Simulator, a: Node, b: Node, *,
+                 rate_bps: float = 1e9, propagation_delay: float = 2e-6,
+                 queue_factory: Optional[Callable[[], PacketQueue]] = None):
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.propagation_delay = propagation_delay
+        #: Process-global identity (debugging, cache keys).
+        self.link_id = next(_link_ids)
+        #: Per-network wire identifier assigned by Network.connect —
+        #: this is what fits a 12-bit VLAN tag, NOT link_id (which
+        #: grows without bound across networks in one process).
+        self.vlan_id: Optional[int] = None
+        qf = queue_factory if queue_factory is not None else DropTailFIFO
+        self.iface_a = Interface(sim, a, self, qf())
+        self.iface_b = Interface(sim, b, self, qf())
+        self.iface_a.peer_node = b
+        self.iface_a.peer_iface = self.iface_b
+        self.iface_b.peer_node = a
+        self.iface_b.peer_iface = self.iface_a
+        self.a = a
+        self.b = b
+
+    def iface_of(self, node: Node) -> Interface:
+        """The outgoing interface at ``node``."""
+        if node is self.a:
+            return self.iface_a
+        if node is self.b:
+            return self.iface_b
+        raise ValueError(f"{node.name} is not an endpoint of this link")
+
+    def peer_of(self, node: Node) -> Node:
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node.name} is not an endpoint of this link")
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        return (self.a.name, self.b.name)
+
+    def __repr__(self) -> str:
+        gbps = self.rate_bps / 1e9
+        return f"Link({self.a.name}<->{self.b.name}, {gbps:g}Gbps)"
+
+
+def reset_link_ids() -> None:
+    """Reset the global link-id counter (test isolation)."""
+    global _link_ids
+    _link_ids = itertools.count(0)

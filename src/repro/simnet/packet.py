@@ -1,0 +1,157 @@
+"""Packet and flow-identity model.
+
+A :class:`Packet` is the unit moved by the simulator.  It carries:
+
+* a :class:`FlowKey` (the classic 5-tuple),
+* a size in bytes (headers included — serialization delay uses this),
+* a DSCP priority class (the paper's experiments use strict priorities),
+* protocol payload metadata (TCP sequence/ack numbers and flags), and
+* a telemetry header area that SwitchPointer switches write into
+  (:mod:`repro.core.headers`).
+
+Packets are intentionally plain mutable objects: a single Python object
+travels end to end, the way a real packet's header region is edited in
+place by switches on its path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple, Optional
+
+# Protocol numbers (IANA).
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+# DSCP-style priority classes used throughout the paper's scenarios.
+# Larger value = higher priority (served first by strict-priority queues).
+PRIO_LOW = 0
+PRIO_MEDIUM = 1
+PRIO_HIGH = 2
+
+#: Conventional full-size Ethernet frame used by the bulk-transfer apps.
+DEFAULT_MTU = 1500
+#: TCP/IP+Ethernet header bytes modelled on every segment.
+HEADER_BYTES = 66
+#: Maximum TCP payload per segment under :data:`DEFAULT_MTU`.
+DEFAULT_MSS = DEFAULT_MTU - HEADER_BYTES
+
+
+class FlowKey(NamedTuple):
+    """The 5-tuple identifying a flow."""
+
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    proto: int
+
+    def reversed(self) -> "FlowKey":
+        """Key of the reverse direction (used by ACK streams)."""
+        return FlowKey(self.dst, self.src, self.dport, self.sport, self.proto)
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.proto == PROTO_TCP
+
+    @property
+    def is_udp(self) -> bool:
+        return self.proto == PROTO_UDP
+
+    def pretty(self) -> str:
+        proto = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}.get(self.proto,
+                                                         str(self.proto))
+        return f"{proto}:{self.src}:{self.sport}->{self.dst}:{self.dport}"
+
+
+@dataclass
+class TcpMeta:
+    """TCP metadata carried by a segment.
+
+    ``seq`` is the byte offset of the first payload byte; ``ack`` is the
+    cumulative acknowledgement (next expected byte).  Only the fields the
+    simplified Reno model needs are present.
+    """
+
+    seq: int = 0
+    ack: int = 0
+    is_ack: bool = False
+    syn: bool = False
+    fin: bool = False
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes
+    ----------
+    flow:
+        The 5-tuple flow identity.
+    size:
+        Total on-wire size in bytes (headers included).
+    priority:
+        DSCP class; strict-priority queues serve higher values first.
+    created_at:
+        Simulated time the packet entered the network at its source NIC.
+    tcp:
+        TCP metadata, or ``None`` for UDP packets.
+    telemetry:
+        Header area written by SwitchPointer switches.  ``None`` until the
+        first switch on the path embeds something.  The concrete object is
+        a codec class from :mod:`repro.core.headers`; the simulator treats
+        it opaquely.
+    hops:
+        Names of switches traversed so far (ground truth used by tests to
+        validate path reconstruction — a real packet does not carry this).
+    """
+
+    flow: FlowKey
+    size: int
+    priority: int = PRIO_LOW
+    created_at: float = 0.0
+    payload_bytes: int = 0
+    tcp: Optional[TcpMeta] = None
+    telemetry: Any = None
+    hops: list[str] = field(default_factory=list)
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def dst(self) -> str:
+        return self.flow.dst
+
+    @property
+    def src(self) -> str:
+        return self.flow.src
+
+    def record_hop(self, switch_name: str) -> None:
+        """Append ground-truth trajectory (for validation only)."""
+        self.hops.append(switch_name)
+
+
+def make_udp(src: str, dst: str, sport: int, dport: int, size: int,
+             priority: int = PRIO_LOW, created_at: float = 0.0) -> Packet:
+    """Convenience constructor for a UDP datagram."""
+    key = FlowKey(src, dst, sport, dport, PROTO_UDP)
+    return Packet(flow=key, size=size, priority=priority,
+                  created_at=created_at,
+                  payload_bytes=max(0, size - HEADER_BYTES))
+
+
+def make_tcp(src: str, dst: str, sport: int, dport: int, *,
+             payload: int, seq: int = 0, ack: int = 0, is_ack: bool = False,
+             syn: bool = False, fin: bool = False,
+             priority: int = PRIO_LOW, created_at: float = 0.0) -> Packet:
+    """Convenience constructor for a TCP segment."""
+    key = FlowKey(src, dst, sport, dport, PROTO_TCP)
+    meta = TcpMeta(seq=seq, ack=ack, is_ack=is_ack, syn=syn, fin=fin)
+    return Packet(flow=key, size=payload + HEADER_BYTES, priority=priority,
+                  created_at=created_at, payload_bytes=payload, tcp=meta)

@@ -1,0 +1,153 @@
+"""Output-port queueing disciplines.
+
+The paper's §2 phenomena are created by exactly two disciplines:
+
+* :class:`DropTailFIFO` — the microburst scenario (Fig 2b): all packets
+  treated equally, loss when the buffer overflows.
+* :class:`StrictPriorityQueue` — the priority-contention scenarios
+  (Figs 1, 2a, 3, 4): a higher-priority packet is always served before
+  any lower-priority packet; low-priority traffic can be starved for as
+  long as high-priority traffic keeps arriving (the Pica8 behaviour the
+  paper exploits).
+
+Both share the :class:`PacketQueue` interface consumed by
+:class:`repro.simnet.link.Link` transmitters, and both keep drop/enqueue
+statistics that the experiment harnesses read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from .packet import Packet
+
+#: Default buffer: ~170 full-size frames, in the range of shallow
+#: datacenter ToR per-port buffers (256 KB).
+DEFAULT_CAPACITY_BYTES = 256 * 1024
+
+
+class QueueStats:
+    """Counters shared by all queue types."""
+
+    __slots__ = ("enqueued", "dequeued", "dropped", "bytes_enqueued",
+                 "bytes_dropped", "max_depth_bytes")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.bytes_enqueued = 0
+        self.bytes_dropped = 0
+        self.max_depth_bytes = 0
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PacketQueue:
+    """Interface: bounded packet queue with byte accounting."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.depth_bytes = 0
+        self.stats = QueueStats()
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Add ``pkt``; return ``False`` (and count a drop) on overflow."""
+        raise NotImplementedError
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the next packet to serve, or ``None``."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def _admit(self, pkt: Packet) -> bool:
+        if self.depth_bytes + pkt.size > self.capacity_bytes:
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += pkt.size
+            return False
+        self.depth_bytes += pkt.size
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += pkt.size
+        if self.depth_bytes > self.stats.max_depth_bytes:
+            self.stats.max_depth_bytes = self.depth_bytes
+        return True
+
+    def _release(self, pkt: Packet) -> Packet:
+        self.depth_bytes -= pkt.size
+        self.stats.dequeued += 1
+        return pkt
+
+
+class DropTailFIFO(PacketQueue):
+    """Single FIFO with tail drop — the microburst substrate (Fig 2b)."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        super().__init__(capacity_bytes)
+        self._q: deque[Packet] = deque()
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if not self._admit(pkt):
+            return False
+        self._q.append(pkt)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._q:
+            return None
+        return self._release(self._q.popleft())
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._q)
+
+
+class StrictPriorityQueue(PacketQueue):
+    """Strict-priority scheduler over per-class FIFOs.
+
+    Higher :attr:`Packet.priority` values are always served first; within
+    a class, FIFO order.  The shared byte budget means a burst of
+    high-priority arrivals can also crowd out buffer space — matching the
+    "too much traffic" starvation behaviour in Fig 2(a).
+    """
+
+    def __init__(self, levels: int = 3,
+                 capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        super().__init__(capacity_bytes)
+        if levels < 1:
+            raise ValueError("need at least one priority level")
+        self.levels = levels
+        self._qs: list[deque[Packet]] = [deque() for _ in range(levels)]
+
+    def enqueue(self, pkt: Packet) -> bool:
+        prio = min(max(pkt.priority, 0), self.levels - 1)
+        if not self._admit(pkt):
+            return False
+        self._qs[prio].append(pkt)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        for prio in range(self.levels - 1, -1, -1):
+            q = self._qs[prio]
+            if q:
+                return self._release(q.popleft())
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._qs)
+
+    def depth_of(self, priority: int) -> int:
+        """Number of queued packets in one priority class."""
+        return len(self._qs[min(max(priority, 0), self.levels - 1)])

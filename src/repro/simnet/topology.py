@@ -1,0 +1,295 @@
+"""Network container and topology builders.
+
+:class:`Network` owns the simulator, nodes and links, and computes
+forwarding tables.  Builders cover the topologies the paper uses:
+
+* :func:`build_linear` — the 3-switch chain of Figs 1(b)/1(c), used by
+  the "too many red lights" and "traffic cascades" scenarios.
+* :func:`build_star` — m hosts behind one switch, the Fig 1(a)
+  "too much traffic" scenario.
+* :func:`build_leaf_spine` — standard 2-tier clos.
+* :func:`build_fat_tree` — the k-ary fat-tree of the CherryPick
+  discussion in §4.1.3 (5-hop paths, one aggregate-core link pins the
+  whole path).
+
+All builders accept a ``queue_factory`` so a single switch flag flips the
+whole fabric between FIFO (microburst) and strict-priority experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import networkx as nx
+
+from .engine import Simulator
+from .link import Link, Node
+from .packet import Packet
+from .queues import PacketQueue
+from .device import Switch
+from .host import Host
+
+QueueFactory = Callable[[], PacketQueue]
+
+
+class TopologyError(Exception):
+    """Raised for malformed topologies or unknown nodes."""
+
+
+class Network:
+    """A simulated network: nodes + links + routing.
+
+    The node namespace is flat; host and switch names must be unique.
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None):
+        self.sim = sim if sim is not None else Simulator()
+        self.hosts: dict[str, Host] = {}
+        self.switches: dict[str, Switch] = {}
+        self.links: list[Link] = []
+        self._graph: Optional[nx.Graph] = None
+
+    # -- construction --------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        self._check_fresh_name(name)
+        host = Host(self.sim, name)
+        self.hosts[name] = host
+        self._graph = None
+        return host
+
+    def add_switch(self, name: str) -> Switch:
+        self._check_fresh_name(name)
+        sw = Switch(self.sim, name)
+        self.switches[name] = sw
+        self._graph = None
+        return sw
+
+    def connect(self, a: Node, b: Node, *, rate_bps: float = 1e9,
+                propagation_delay: float = 2e-6,
+                queue_factory: Optional[QueueFactory] = None) -> Link:
+        """Create a full-duplex link and register its interfaces."""
+        link = Link(self.sim, a, b, rate_bps=rate_bps,
+                    propagation_delay=propagation_delay,
+                    queue_factory=queue_factory)
+        for node, iface in ((a, link.iface_a), (b, link.iface_b)):
+            node.attach(iface)
+        link.vlan_id = len(self.links)  # network-local 12-bit wire id
+        self.links.append(link)
+        self._graph = None
+        return link
+
+    def _check_fresh_name(self, name: str) -> None:
+        if name in self.hosts or name in self.switches:
+            raise TopologyError(f"duplicate node name {name!r}")
+
+    # -- lookup ----------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        if name in self.hosts:
+            return self.hosts[name]
+        if name in self.switches:
+            return self.switches[name]
+        raise TopologyError(f"unknown node {name!r}")
+
+    def link_between(self, a: str, b: str) -> Link:
+        for link in self.links:
+            if {link.a.name, link.b.name} == {a, b}:
+                return link
+        raise TopologyError(f"no link between {a!r} and {b!r}")
+
+    def link_by_id(self, link_id: int) -> Link:
+        for link in self.links:
+            if link.link_id == link_id:
+                return link
+        raise TopologyError(f"no link with id {link_id}")
+
+    def link_by_vlan(self, vlan_id: int) -> Link:
+        """Resolve a network-local wire id (what VLAN tags carry)."""
+        if 0 <= vlan_id < len(self.links):
+            return self.links[vlan_id]
+        raise TopologyError(f"no link with vlan id {vlan_id}")
+
+    @property
+    def host_names(self) -> list[str]:
+        return sorted(self.hosts)
+
+    @property
+    def switch_names(self) -> list[str]:
+        return sorted(self.switches)
+
+    # -- graph & paths -----------------------------------------------------
+
+    def graph(self) -> nx.Graph:
+        """The topology as a networkx graph (nodes are names)."""
+        if self._graph is None:
+            g = nx.Graph()
+            for name in self.hosts:
+                g.add_node(name, kind="host")
+            for name in self.switches:
+                g.add_node(name, kind="switch")
+            for link in self.links:
+                g.add_edge(link.a.name, link.b.name, link=link)
+            self._graph = g
+        return self._graph
+
+    def shortest_paths(self, src: str, dst: str) -> list[list[str]]:
+        """All shortest src→dst node-name paths (deterministic order)."""
+        paths = nx.all_shortest_paths(self.graph(), src, dst)
+        return sorted(paths)
+
+    def path_through_link(self, src: str, dst: str,
+                          link: Link) -> Optional[list[str]]:
+        """The unique shortest src→dst path crossing ``link``, if any.
+
+        This is the CherryPick reconstruction primitive: on clos fabrics
+        one picked link disambiguates the end-to-end path.  Returns None
+        when no shortest path through the link exists; raises
+        :class:`TopologyError` when more than one does (topology is not
+        CherryPick-compatible for this pair).
+        """
+        matches = []
+        a, b = link.a.name, link.b.name
+        for path in self.shortest_paths(src, dst):
+            hops = list(zip(path, path[1:]))
+            if (a, b) in hops or (b, a) in hops:
+                matches.append(path)
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise TopologyError(
+                f"link {link.endpoints} does not pin the {src}->{dst} path")
+        return matches[0]
+
+    # -- routing ---------------------------------------------------------------
+
+    def compute_routes(self) -> None:
+        """Install ECMP forwarding state for every host destination.
+
+        For each switch and destination host, every neighbor on some
+        shortest path toward the destination contributes one candidate
+        egress interface.
+        """
+        g = self.graph()
+        dist = dict(nx.all_pairs_shortest_path_length(g))
+        for sw_name, sw in self.switches.items():
+            sw.clear_routes()
+            for dst in self.hosts:
+                if dst == sw_name:
+                    continue
+                d_here = dist[sw_name].get(dst)
+                if d_here is None:
+                    continue
+                for link in self.links:
+                    if sw_name not in (link.a.name, link.b.name):
+                        continue
+                    peer = link.peer_of(sw)
+                    if dist[peer.name].get(dst) == d_here - 1:
+                        sw.install_route(dst, link.iface_of(sw))
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def build_star(n_hosts: int, *, rate_bps: float = 1e9,
+               queue_factory: Optional[QueueFactory] = None,
+               sim: Optional[Simulator] = None,
+               switch_name: str = "S1",
+               host_prefix: str = "h") -> Network:
+    """``n_hosts`` hosts behind a single switch (Fig 1(a) fan-in)."""
+    if n_hosts < 1:
+        raise TopologyError("need at least one host")
+    net = Network(sim)
+    sw = net.add_switch(switch_name)
+    for i in range(n_hosts):
+        host = net.add_host(f"{host_prefix}{i}")
+        net.connect(host, sw, rate_bps=rate_bps, queue_factory=queue_factory)
+    net.compute_routes()
+    return net
+
+
+def build_linear(n_switches: int = 3, hosts_per_switch: int = 2, *,
+                 rate_bps: float = 1e9,
+                 queue_factory: Optional[QueueFactory] = None,
+                 sim: Optional[Simulator] = None) -> Network:
+    """Chain of switches S1-S2-...-Sn, each with its own hosts.
+
+    With the defaults this is exactly the Fig 1(b)/(c) topology: hosts
+    ``h{s}_{i}`` attach to switch ``S{s}``.
+    """
+    if n_switches < 1:
+        raise TopologyError("need at least one switch")
+    net = Network(sim)
+    switches = [net.add_switch(f"S{i + 1}") for i in range(n_switches)]
+    for left, right in zip(switches, switches[1:]):
+        net.connect(left, right, rate_bps=rate_bps,
+                    queue_factory=queue_factory)
+    for s, sw in enumerate(switches, start=1):
+        for i in range(hosts_per_switch):
+            host = net.add_host(f"h{s}_{i}")
+            net.connect(host, sw, rate_bps=rate_bps,
+                        queue_factory=queue_factory)
+    net.compute_routes()
+    return net
+
+
+def build_leaf_spine(n_leaves: int = 4, n_spines: int = 2,
+                     hosts_per_leaf: int = 4, *, rate_bps: float = 1e9,
+                     queue_factory: Optional[QueueFactory] = None,
+                     sim: Optional[Simulator] = None) -> Network:
+    """Two-tier clos: every leaf connects to every spine."""
+    if n_leaves < 1 or n_spines < 1:
+        raise TopologyError("need at least one leaf and one spine")
+    net = Network(sim)
+    leaves = [net.add_switch(f"leaf{i}") for i in range(n_leaves)]
+    spines = [net.add_switch(f"spine{i}") for i in range(n_spines)]
+    for leaf in leaves:
+        for spine in spines:
+            net.connect(leaf, spine, rate_bps=rate_bps,
+                        queue_factory=queue_factory)
+    for li, leaf in enumerate(leaves):
+        for i in range(hosts_per_leaf):
+            host = net.add_host(f"h{li}_{i}")
+            net.connect(host, leaf, rate_bps=rate_bps,
+                        queue_factory=queue_factory)
+    net.compute_routes()
+    return net
+
+
+def build_fat_tree(k: int = 4, *, rate_bps: float = 1e9,
+                   queue_factory: Optional[QueueFactory] = None,
+                   sim: Optional[Simulator] = None,
+                   hosts_per_edge: Optional[int] = None) -> Network:
+    """k-ary fat-tree (k even): k pods, k²/4 cores, k/2 hosts per edge.
+
+    Node names: ``core{c}``, ``agg{p}_{a}``, ``edge{p}_{e}``,
+    ``h{p}_{e}_{i}`` — pod p, position within pod, host index.
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError("fat-tree arity k must be even and >= 2")
+    net = Network(sim)
+    half = k // 2
+    n_hosts_edge = half if hosts_per_edge is None else hosts_per_edge
+    cores = [net.add_switch(f"core{c}") for c in range(half * half)]
+    for p in range(k):
+        aggs = [net.add_switch(f"agg{p}_{a}") for a in range(half)]
+        edges = [net.add_switch(f"edge{p}_{e}") for e in range(half)]
+        for a, agg in enumerate(aggs):
+            for edge in edges:
+                net.connect(agg, edge, rate_bps=rate_bps,
+                            queue_factory=queue_factory)
+            # agg a connects to cores [a*half, (a+1)*half)
+            for c in range(a * half, (a + 1) * half):
+                net.connect(agg, cores[c], rate_bps=rate_bps,
+                            queue_factory=queue_factory)
+        for e, edge in enumerate(edges):
+            for i in range(n_hosts_edge):
+                host = net.add_host(f"h{p}_{e}_{i}")
+                net.connect(host, edge, rate_bps=rate_bps,
+                            queue_factory=queue_factory)
+    net.compute_routes()
+    return net

@@ -1,0 +1,164 @@
+"""Synthetic datacenter workload generation.
+
+The paper's micro-benchmarks use hand-placed flows; for the
+directory-precision studies (how many hosts land in a pointer under
+realistic traffic) we also need fabric-scale background workloads with
+the usual datacenter statistics:
+
+* **heavy-tailed flow sizes** — most flows are mice, most bytes belong
+  to elephants (bounded Pareto, as in the Benson/Roy traffic studies
+  the paper cites for packet sizes);
+* **Poisson flow arrivals** with a configurable rate;
+* **uniform or skewed endpoint selection** over the host set.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .engine import Simulator
+from .host import Host
+from .packet import DEFAULT_MTU, PRIO_LOW, FlowKey
+from .topology import Network
+from .traffic import UdpCbrSource, UdpSink
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic workload."""
+
+    arrival_rate_per_s: float = 2000.0
+    mean_flow_bytes: int = 100_000
+    pareto_shape: float = 1.2          # <2: heavy tail
+    min_flow_bytes: int = 1_500
+    max_flow_bytes: int = 10_000_000
+    flow_rate_bps: float = 1e9
+    duration_s: float = 0.1
+    priority: int = PRIO_LOW
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.pareto_shape <= 1.0:
+            raise ValueError("pareto shape must exceed 1 (finite mean)")
+        if not 0 < self.min_flow_bytes <= self.max_flow_bytes:
+            raise ValueError("invalid flow size bounds")
+
+
+@dataclass
+class GeneratedFlow:
+    """One flow the generator scheduled."""
+
+    flow: FlowKey
+    size_bytes: int
+    start: float
+    source: UdpCbrSource
+
+
+class WorkloadGenerator:
+    """Schedules a :class:`WorkloadSpec` onto a network's hosts.
+
+    Flows are UDP at a fixed rate with size-derived duration — enough to
+    exercise pointers, records, and queries without TCP dynamics (use
+    the scenario builders when congestion control matters).
+    """
+
+    def __init__(self, network: Network, spec: WorkloadSpec, *,
+                 senders: Optional[list[str]] = None,
+                 receivers: Optional[list[str]] = None,
+                 base_port: int = 40_000):
+        self.network = network
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        hosts = network.host_names
+        self.senders = senders if senders is not None else hosts
+        self.receivers = receivers if receivers is not None else hosts
+        if not self.senders or not self.receivers:
+            raise ValueError("need at least one sender and receiver")
+        self.base_port = base_port
+        self.flows: list[GeneratedFlow] = []
+        self._sinks: set[tuple[str, int]] = set()
+
+    # -- distributions --------------------------------------------------------
+
+    def flow_size(self) -> int:
+        """Bounded-Pareto flow size with the spec's mean."""
+        shape = self.spec.pareto_shape
+        # scale so that the unbounded Pareto mean matches mean_flow_bytes
+        scale = self.spec.mean_flow_bytes * (shape - 1) / shape
+        scale = max(scale, self.spec.min_flow_bytes)
+        u = self.rng.random()
+        size = scale / (u ** (1 / shape))
+        return int(min(max(size, self.spec.min_flow_bytes),
+                       self.spec.max_flow_bytes))
+
+    def next_interarrival(self) -> float:
+        return self.rng.expovariate(self.spec.arrival_rate_per_s)
+
+    def pick_pair(self) -> tuple[str, str]:
+        while True:
+            src = self.rng.choice(self.senders)
+            dst = self.rng.choice(self.receivers)
+            if src != dst:
+                return src, dst
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self) -> list[GeneratedFlow]:
+        """Plan all flows for the spec duration onto the simulator."""
+        sim = self.network.sim
+        t = sim.now
+        end = sim.now + self.spec.duration_s
+        i = 0
+        while True:
+            t += self.next_interarrival()
+            if t >= end:
+                break
+            src_name, dst_name = self.pick_pair()
+            size = self.flow_size()
+            port = self.base_port + i
+            self._ensure_sink(dst_name, port)
+            duration = max(size * 8 / self.spec.flow_rate_bps, 1e-6)
+            source = UdpCbrSource(
+                sim, self.network.hosts[src_name], dst_name,
+                sport=port, dport=port, rate_bps=self.spec.flow_rate_bps,
+                packet_size=min(DEFAULT_MTU, max(64, size)),
+                priority=self.spec.priority, start=t, duration=duration)
+            self.flows.append(GeneratedFlow(flow=source.flow,
+                                            size_bytes=size, start=t,
+                                            source=source))
+            i += 1
+        return self.flows
+
+    def _ensure_sink(self, host_name: str, port: int) -> None:
+        key = (host_name, port)
+        if key not in self._sinks:
+            UdpSink(self.network.hosts[host_name], port)
+            self._sinks.add(key)
+
+    # -- post-run statistics ---------------------------------------------------
+
+    def size_percentiles(self, ps=(50, 90, 99)) -> dict[int, int]:
+        sizes = sorted(f.size_bytes for f in self.flows)
+        if not sizes:
+            return {p: 0 for p in ps}
+        out = {}
+        for p in ps:
+            rank = max(1, math.ceil(p / 100 * len(sizes)))
+            out[p] = sizes[rank - 1]
+        return out
+
+    def elephant_byte_share(self, threshold: int = 1_000_000) -> float:
+        """Fraction of bytes in flows >= threshold (tail check)."""
+        total = sum(f.size_bytes for f in self.flows)
+        if total == 0:
+            return 0.0
+        big = sum(f.size_bytes for f in self.flows
+                  if f.size_bytes >= threshold)
+        return big / total

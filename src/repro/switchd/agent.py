@@ -1,0 +1,147 @@
+"""Switch control-plane agent (§4.1, §4.3 switch side).
+
+One agent runs per switch.  It owns:
+
+* the **pull API** the analyzer uses: "give me the pointer sets at
+  level ℓ covering epochs [lo, hi]" — answered from the live
+  hierarchical store;
+* the **push sink**: top-level pointer sets the dataplane hands over
+  every αᵏ ms are appended to a persistent history (the control-plane
+  storage used for offline diagnosis), with bandwidth accounting that
+  the Fig 10(b) cross-check reads;
+* the **epoch-advance process**: in VLAN mode a rule update per epoch
+  rewrites the epochID rule (§4.1.3); modelled via the rule table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.epoch import EpochClock
+from ..core.pointer import (HierarchicalPointerStore, PointerSet,
+                            PointerSnapshot)
+from ..simnet.engine import PeriodicTimer, Simulator
+from .rules import RuleTable
+
+
+class SwitchAgent:
+    """Control-plane side of one SwitchPointer switch."""
+
+    def __init__(self, name: str, clock: EpochClock,
+                 store: HierarchicalPointerStore, *,
+                 rule_table: Optional[RuleTable] = None):
+        self.name = name
+        self.clock = clock
+        self.store = store
+        self.rule_table = rule_table
+        self.pushed_history: list[PointerSnapshot] = []
+        self.bytes_pushed = 0
+        self.pull_requests = 0
+        store.on_push = self._on_push
+
+    # -- push model -----------------------------------------------------------
+
+    def _on_push(self, snap: PointerSnapshot) -> None:
+        self.pushed_history.append(snap)
+        self.bytes_pushed += len(snap.bits)
+
+    def push_bandwidth_bps(self, elapsed_s: float) -> float:
+        """Measured data-plane→control-plane rate over ``elapsed_s``."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.bytes_pushed * 8 / elapsed_s
+
+    # -- pull API (what the analyzer RPCs) -----------------------------------
+
+    def pull(self, level: int, epoch_lo: int,
+             epoch_hi: int) -> list[PointerSnapshot]:
+        """Live pointer sets at ``level`` intersecting the epoch range."""
+        self.pull_requests += 1
+        return self.store.snapshots_covering(level, epoch_lo, epoch_hi)
+
+    def pull_hosts_slots(self, epoch_lo: int, epoch_hi: int,
+                         level: int = 1) -> set[int]:
+        """Union of destination slots recorded in the epoch range."""
+        self.pull_requests += 1
+        return self.store.slots_for_epochs(epoch_lo, epoch_hi, level=level)
+
+    def best_effort_slots(self, epoch_lo: int,
+                          epoch_hi: int) -> tuple[set[int], str]:
+        """Answer from the finest level that still covers the window.
+
+        This is the §4.1.1 access pattern the hierarchy exists for:
+        recent epochs are served from level 1 (per-epoch precision);
+        once level 1 has recycled, successively coarser levels answer;
+        when even the top level has moved on, the pushed history (the
+        offline path) is consulted.  Returns the slots plus a label of
+        the source used (``"level1"``..``"levelk"`` or ``"offline"``).
+
+        A level "covers" the window only if no epoch in it has been
+        *recycled* there — a partial answer from a half-recycled level
+        would silently drop hosts, which the directory must never do.
+        Epochs that were simply never written answer "no hosts", which
+        is correct, at any level.
+        """
+        self.pull_requests += 1
+        if epoch_hi < 0:
+            return set(), "level1"  # entirely pre-history: empty
+        for level in range(1, self.store.k + 1):
+            statuses = [self.store.epoch_status(level, e)
+                        for e in range(epoch_lo, epoch_hi + 1)]
+            if any(s == "recycled" for s in statuses):
+                continue  # data loss at this level: escalate
+            slots: set[int] = set()
+            for snap in self.store.snapshots_covering(
+                    level, max(0, epoch_lo), max(0, epoch_hi)):
+                slots.update(snap.slots())
+            return slots, f"level{level}"
+        return self.offline_slots(epoch_lo, epoch_hi), "offline"
+
+    def offline_slots(self, epoch_lo: int, epoch_hi: int) -> set[int]:
+        """Slots from *pushed* (persistent) top-level history.
+
+        This is the offline-diagnosis path: coarse αᵏ ms granularity,
+        but available after the live sets have been recycled.
+        """
+        slots: set[int] = set()
+        for snap in self.pushed_history:
+            if snap.epoch_lo <= epoch_hi and epoch_lo <= snap.epoch_hi:
+                slots.update(snap.slots())
+        return slots
+
+    # -- epoch process --------------------------------------------------------
+
+    def start_epoch_process(self, sim: Simulator) -> PeriodicTimer:
+        """Begin per-epoch activity (epochID rule rewrite accounting)."""
+
+        def on_epoch() -> None:
+            if self.rule_table is not None:
+                self.rule_table.advance_epoch(self.clock.epoch_of(sim.now))
+
+        return PeriodicTimer(sim, self.clock.alpha_s, on_epoch)
+
+
+class ControlPlaneStore:
+    """Network-wide persistent store of pushed pointers (offline path).
+
+    The paper pushes each switch's top-level set to "persistent storage"
+    on the controller; this aggregates them for offline queries across
+    switches.
+    """
+
+    def __init__(self) -> None:
+        self._by_switch: dict[str, list[PointerSnapshot]] = {}
+
+    def ingest(self, switch_name: str, snap: PointerSnapshot) -> None:
+        self._by_switch.setdefault(switch_name, []).append(snap)
+
+    def snapshots(self, switch_name: str) -> list[PointerSnapshot]:
+        return list(self._by_switch.get(switch_name, []))
+
+    def slots_for(self, switch_name: str, epoch_lo: int,
+                  epoch_hi: int) -> set[int]:
+        slots: set[int] = set()
+        for snap in self._by_switch.get(switch_name, []):
+            if snap.epoch_lo <= epoch_hi and epoch_lo <= snap.epoch_hi:
+                slots.update(snap.slots())
+        return slots

@@ -1,0 +1,107 @@
+"""CherryPick-style link sampling (§4.1.3).
+
+The commodity-switch design cannot afford per-hop INT records, so
+SwitchPointer extends CherryPick [SOSR'15]: on clos topologies a single
+well-chosen *link* pins the entire end-to-end path (e.g. the
+aggregate-core link of a 5-hop fat-tree path).  The switch whose egress
+link pins the path embeds that linkID plus its current epochID as two
+VLAN tags; the destination reconstructs the full switch list from
+(src, dst, linkID) alone.
+
+:class:`CherryPickPlanner` answers the per-packet question "does *this*
+egress link pin the *src→dst* path?" directly from the topology: the
+link pins the path iff exactly one shortest src→dst path crosses it.
+Decisions are cached, mirroring how the real system compiles them into
+static OpenFlow rules (one rule per port, §4.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simnet.link import Link
+from ..simnet.topology import Network, TopologyError
+
+
+class CherryPickPlanner:
+    """Precomputed/cached link-pinning decisions over one topology."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._pins_cache: dict[tuple[str, str, int], bool] = {}
+        self._path_cache: dict[tuple[str, str, int],
+                               Optional[list[str]]] = {}
+
+    def pins_path(self, src: str, dst: str, link: Link) -> bool:
+        """True iff ``link`` lies on exactly one shortest src→dst path.
+
+        Unknown or unreachable endpoints (e.g. a destination being
+        decommissioned while routes linger) simply do not pin — the
+        datapath then skips embedding rather than failing the packet.
+        """
+        key = (src, dst, link.link_id)
+        hit = self._pins_cache.get(key)
+        if hit is not None:
+            return hit
+        graph = self.network.graph()
+        if src not in graph or dst not in graph:
+            self._pins_cache[key] = False
+            return False
+        a, b = link.a.name, link.b.name
+        count = 0
+        match: Optional[list[str]] = None
+        try:
+            paths = self.network.shortest_paths(src, dst)
+        except Exception:
+            paths = []
+        for path in paths:
+            hops = set(zip(path, path[1:]))
+            if (a, b) in hops or (b, a) in hops:
+                count += 1
+                match = path
+        pins = count == 1
+        self._pins_cache[key] = pins
+        self._path_cache[key] = match if pins else None
+        return pins
+
+    def reconstruct_path(self, src: str, dst: str,
+                         vlan_id: int) -> list[str]:
+        """Full node path for a packet that carried wire id ``vlan_id``.
+
+        This is the destination-side decode: the unique shortest src→dst
+        path through the identified link.  Raises
+        :class:`TopologyError` when the link does not pin the path —
+        which means the embedding rule was wrong, never that data was
+        lost.
+        """
+        link = self.network.link_by_vlan(vlan_id)
+        cached = self._path_cache.get((src, dst, link.link_id))
+        if cached is not None:
+            return list(cached)
+        if not self.pins_path(src, dst, link):
+            raise TopologyError(
+                f"link {link.endpoints} does not pin {src}->{dst}")
+        return list(self._path_cache[(src, dst, link.link_id)] or [])
+
+    def switch_path(self, src: str, dst: str, vlan_id: int) -> list[str]:
+        """Switch names only (hosts trimmed) for the reconstructed path."""
+        return [n for n in self.reconstruct_path(src, dst, vlan_id)
+                if n in self.network.switches]
+
+    def embedding_hop(self, src: str, dst: str) -> Optional[str]:
+        """Which switch on the (first) shortest path would embed.
+
+        Used by tests and by the rule-count model: the embedder is the
+        first switch whose next-hop link pins the path.
+        """
+        paths = self.network.shortest_paths(src, dst)
+        if not paths:
+            return None
+        path = paths[0]
+        for here, nxt in zip(path[1:], path[2:]):
+            if here not in self.network.switches:
+                continue
+            link = self.network.link_between(here, nxt)
+            if self.pins_path(src, dst, link):
+                return here
+        return None

@@ -1,0 +1,91 @@
+"""Unit tests for the in-network baselines (the §2 gap demonstrations)."""
+
+import pytest
+
+from repro.baselines.innetwork import PortCounterMonitor, SampledNetFlow
+from repro.simnet.packet import PRIO_HIGH, make_udp
+from repro.simnet.topology import build_linear
+from repro.simnet.traffic import UdpCbrSource, UdpSink
+
+
+def dumbbell(n=3):
+    return build_linear(2, n)
+
+
+class TestSampledNetFlow:
+    def test_samples_subset(self):
+        net = dumbbell()
+        sampler = SampledNetFlow(net.switches["S1"], sample_rate=10)
+        UdpSink(net.hosts["h2_0"], 7)
+        UdpCbrSource(net.sim, net.hosts["h1_0"], "h2_0", sport=7, dport=7,
+                     rate_bps=1e9, duration=0.010)
+        net.run()
+        assert sampler.packets_seen > 500
+        assert 0 < len(sampler.samples) < sampler.packets_seen
+
+    def test_misses_microburst_at_typical_rates(self):
+        """§2.1: a ~1 ms burst is invisible at 1-in-1000 sampling with
+        high probability — the motivating failure of Sampled NetFlow."""
+        net = dumbbell()
+        sampler = SampledNetFlow(net.switches["S1"], sample_rate=1000,
+                                 seed=7)
+        UdpSink(net.hosts["h2_0"], 7)
+        # ~84 packets in the burst; P(miss) = (1-1/1000)^84 ~ 0.92
+        burst = UdpCbrSource(net.sim, net.hosts["h1_0"], "h2_0", sport=7,
+                             dport=7, rate_bps=1e9, start=0.005,
+                             duration=0.001, priority=PRIO_HIGH)
+        net.run()
+        missed = sampler.missed_flows({burst.flow}, 0.005, 0.007)
+        assert burst.flow in missed
+
+    def test_catches_sustained_flow(self):
+        net = dumbbell()
+        sampler = SampledNetFlow(net.switches["S1"], sample_rate=100,
+                                 seed=3)
+        UdpSink(net.hosts["h2_0"], 7)
+        flow = UdpCbrSource(net.sim, net.hosts["h1_0"], "h2_0", sport=7,
+                            dport=7, rate_bps=1e9, duration=0.050)
+        net.run()
+        assert flow.flow in sampler.flows_observed_during(0.0, 0.050)
+
+    def test_invalid_rate(self):
+        net = dumbbell()
+        with pytest.raises(ValueError):
+            SampledNetFlow(net.switches["S1"], sample_rate=0)
+
+
+class TestPortCounterMonitor:
+    def test_port_series_counts_bytes(self):
+        net = dumbbell()
+        mon = PortCounterMonitor(net.switches["S1"], window=0.001)
+        UdpSink(net.hosts["h2_0"], 7)
+        UdpCbrSource(net.sim, net.hosts["h1_0"], "h2_0", sport=7, dport=7,
+                     rate_bps=1e9, duration=0.005)
+        net.run()
+        series = mon.port_series("S1->S2")
+        assert series, "trunk port must have counters"
+        assert max(g for _, g in series) > 0.5  # near line rate
+
+    def test_cannot_distinguish_contention_kinds(self):
+        """§2.1: counters see 'busy', never 'priority vs microburst'."""
+        net = dumbbell()
+        mon = PortCounterMonitor(net.switches["S1"], window=0.001)
+        UdpSink(net.hosts["h2_0"], 7)
+        UdpCbrSource(net.sim, net.hosts["h1_0"], "h2_0", sport=7, dport=7,
+                     rate_bps=1e9, start=0.002, duration=0.002,
+                     priority=PRIO_HIGH)
+        net.run()
+        assert mon.classify_contention("S1->S2", 0.002,
+                                       0.004) == "unknown-contention"
+
+    def test_idle_port_reports_no_contention(self):
+        net = dumbbell()
+        mon = PortCounterMonitor(net.switches["S1"], window=0.001)
+        net.run()
+        assert mon.classify_contention("S1->S2", 0.0,
+                                       0.001) == "no-contention"
+
+    def test_invalid_window(self):
+        net = dumbbell()
+        with pytest.raises(ValueError):
+            PortCounterMonitor(net.switches["S1"], window=0)

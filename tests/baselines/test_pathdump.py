@@ -1,0 +1,87 @@
+"""Unit tests for the PathDump baseline and the Fig 12 comparison."""
+
+import pytest
+
+from repro import SwitchPointerDeployment
+from repro.baselines.pathdump import (PathDumpAnalyzer,
+                                      top_k_with_switchpointer)
+from repro.core.epoch import EpochRange
+from repro.simnet.packet import make_udp
+from repro.simnet.topology import build_linear
+
+
+@pytest.fixture
+def populated():
+    """Dumbbell with 6 host pairs; 3 flows through the trunk."""
+    net = build_linear(2, 6)
+    deploy = SwitchPointerDeployment(net, alpha_ms=10, k=2)
+    sizes = {0: 3, 1: 5, 2: 1}
+    for i, n_pkts in sizes.items():
+        for _ in range(n_pkts):
+            net.hosts[f"h1_{i}"].send(
+                make_udp(f"h1_{i}", f"h2_{i}", 10 + i, 9, 1000))
+    net.run()
+    return net, deploy
+
+
+class TestPathDumpFanout:
+    def test_contacts_every_server(self, populated):
+        net, deploy = populated
+        pd = PathDumpAnalyzer(deploy.host_agents)
+        _, bd = pd.top_k_flows(3, switch="S1")
+        per_server = pd.rpc.model.connection_init_s
+        expected = len(net.hosts) * per_server
+        assert bd.parts["connection_initiation"] == pytest.approx(expected)
+
+    def test_top_k_correct_despite_no_directory(self, populated):
+        net, deploy = populated
+        pd = PathDumpAnalyzer(deploy.host_agents)
+        top, _ = pd.top_k_flows(2, switch="S1")
+        assert [s.flow.src for s in top] == ["h1_1", "h1_0"]
+
+    def test_flow_size_distribution_merged(self, populated):
+        net, deploy = populated
+        pd = PathDumpAnalyzer(deploy.host_agents)
+        dist, _ = pd.flow_size_distribution(switch="S1")
+        sizes = sorted(sum(dist.values(), []))
+        assert sizes == [1000, 3000, 5000]
+
+
+class TestFig12Comparison:
+    def test_same_answer_both_systems(self, populated):
+        net, deploy = populated
+        pd = PathDumpAnalyzer(deploy.host_agents)
+        pd_top, _ = pd.top_k_flows(3, switch="S1")
+        sp_top, _ = top_k_with_switchpointer(
+            deploy.analyzer, 3, switch="S1", epochs=EpochRange(0, 1))
+        assert [s.flow for s in sp_top] == [s.flow for s in pd_top]
+
+    def test_switchpointer_contacts_fewer_servers(self, populated):
+        """The crux of Fig 12: with few relevant servers SwitchPointer
+        is much faster; it converges to PathDump only when every server
+        is relevant."""
+        net, deploy = populated
+        pd = PathDumpAnalyzer(deploy.host_agents,
+                              rpc=deploy.analyzer.rpc.__class__())
+        _, pd_bd = pd.top_k_flows(3, switch="S1")
+        _, sp_bd = top_k_with_switchpointer(
+            deploy.analyzer, 3, switch="S1", epochs=EpochRange(0, 1))
+        # 12 servers total, but only 3-4 hold relevant records
+        assert sp_bd.total < pd_bd.total
+
+    def test_equal_when_all_servers_relevant(self):
+        net = build_linear(2, 2)
+        deploy = SwitchPointerDeployment(net, alpha_ms=10, k=2)
+        # every host receives (and sends) trunk traffic
+        pairs = [("h1_0", "h2_0"), ("h2_0", "h1_0"),
+                 ("h1_1", "h2_1"), ("h2_1", "h1_1")]
+        for i, (src, dst) in enumerate(pairs):
+            net.hosts[src].send(make_udp(src, dst, 20 + i, 9, 800))
+        net.run()
+        pd = PathDumpAnalyzer(deploy.host_agents)
+        _, pd_bd = pd.top_k_flows(4, switch="S1")
+        _, sp_bd = top_k_with_switchpointer(
+            deploy.analyzer, 4, switch="S1", epochs=EpochRange(0, 1))
+        pd_conn = pd_bd.parts["connection_initiation"]
+        sp_conn = sp_bd.parts["connection_initiation"]
+        assert sp_conn == pytest.approx(pd_conn)  # both contact all 4

@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Hypothesis runs derandomized so the property suite is reproducible —
+every run explores the same example sequence, and a failure in CI is a
+failure locally.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,112 @@
+"""Tests for the analyzer-side aggregation queries."""
+
+import pytest
+
+from repro.core.epoch import EpochRange
+from repro.hostd.aggregate import (bytes_per_switch, contention_groups,
+                                   epoch_activity, flows_sharing_epoch,
+                                   heavy_hitters_per_link,
+                                   traffic_matrix)
+from repro.hostd.query import FlowSummary, QueryResult
+from repro.simnet.packet import FlowKey, PROTO_UDP
+
+
+def summary(i, nbytes, path, ranges, bbe=None):
+    return FlowSummary(
+        flow=FlowKey(f"s{i}", f"d{i}", 10 + i, 20 + i, PROTO_UDP),
+        bytes=nbytes, packets=nbytes // 100, priority=0,
+        switch_path=list(path),
+        epoch_ranges={sw: r for sw, r in ranges.items()},
+        bytes_by_epoch=bbe or {})
+
+
+@pytest.fixture
+def results():
+    return {
+        "d0": QueryResult(payload=[
+            summary(0, 5000, ("S1", "S2"),
+                    {"S1": (0, 1), "S2": (0, 2)}, {0: 3000, 1: 2000})]),
+        "d1": QueryResult(payload=[
+            summary(1, 9000, ("S1", "S3"),
+                    {"S1": (1, 2), "S3": (2, 3)}, {1: 9000})]),
+        "d2": QueryResult(payload=[
+            summary(2, 1000, ("S2",), {"S2": (8, 9)}, {8: 1000})]),
+    }
+
+
+class TestTrafficMatrix:
+    def test_pairs_and_bytes(self, results):
+        matrix = traffic_matrix(results)
+        assert matrix[("s0", "d0")] == 5000
+        assert matrix[("s1", "d1")] == 9000
+        assert len(matrix) == 3
+
+    def test_accumulates_same_pair(self):
+        res = {"d0": QueryResult(payload=[
+            summary(0, 100, ("S1",), {"S1": (0, 0)}),
+        ]), "x": QueryResult(payload=[
+            summary(0, 200, ("S1",), {"S1": (1, 1)})])}
+        assert traffic_matrix(res)[("s0", "d0")] == 300
+
+
+class TestBytesPerSwitch:
+    def test_every_hop_charged(self, results):
+        per = bytes_per_switch(results)
+        assert per["S1"] == 14_000
+        assert per["S2"] == 6_000
+        assert per["S3"] == 9_000
+
+
+class TestHeavyHitters:
+    def test_top_per_link(self, results):
+        hh = heavy_hitters_per_link(results, top=1)
+        assert hh[("S1", "S2")][0].bytes == 5000
+        assert hh[("S1", "S3")][0].bytes == 9000
+        # last hop toward destination host is a link too
+        assert ("S2", "d0") in hh
+
+    def test_top_k_cut(self):
+        res = {"x": QueryResult(payload=[
+            summary(i, 1000 * (i + 1), ("S1", "S2"),
+                    {"S1": (0, 0), "S2": (0, 0)}) for i in range(5)])}
+        hh = heavy_hitters_per_link(res, top=2)
+        sizes = [s.bytes for s in hh[("S1", "S2")]]
+        assert sizes == [5000, 4000]
+
+
+class TestEpochActivity:
+    def test_sums_per_epoch(self, results):
+        act = epoch_activity(results)
+        assert act[0] == 3000
+        assert act[1] == 11_000
+        assert act[8] == 1000
+
+    def test_epoch_filter(self, results):
+        act = epoch_activity(results, epochs=EpochRange(0, 1))
+        assert set(act) == {0, 1}
+
+
+class TestSharingAndGroups:
+    def test_flows_sharing_epoch(self, results):
+        both = flows_sharing_epoch(results, "S1", 1)
+        assert len(both) == 2
+        only0 = flows_sharing_epoch(results, "S1", 0)
+        assert [s.flow.src for s in only0] == ["s0"]
+
+    def test_contention_groups_split_on_gap(self, results):
+        groups = contention_groups(results, "S2")
+        # S2: flow0 epochs 0-2, flow2 epochs 8-9 -> two separate events
+        assert len(groups) == 2
+        assert {g[0].src for g in groups} == {"s0", "s2"}
+
+    def test_contention_groups_merge_overlaps(self):
+        res = {"x": QueryResult(payload=[
+            summary(0, 1, ("S1",), {"S1": (0, 3)}),
+            summary(1, 1, ("S1",), {"S1": (2, 5)}),
+            summary(2, 1, ("S1",), {"S1": (4, 6)})])}
+        groups = contention_groups(res, "S1")
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_no_flows_no_groups(self):
+        assert contention_groups({}, "S1") == []

@@ -1,0 +1,57 @@
+"""Tests for the record-store memory bound (spill-on-pressure)."""
+
+import pytest
+
+from repro.core.epoch import EpochRange
+from repro.hostd.records import FlowRecordStore
+from repro.simnet.packet import FlowKey, PROTO_UDP
+
+
+def key(i):
+    return FlowKey(f"s{i}", f"d{i}", i, i, PROTO_UDP)
+
+
+def touch(store, i, t):
+    rec = store.record_for(key(i))
+    rec.observe(nbytes=100, t=t, priority=0, switch_path=["S1"],
+                ranges={"S1": EpochRange(0, 0)}, observed_epoch=0)
+    return rec
+
+
+class TestEviction:
+    def test_bound_enforced(self):
+        store = FlowRecordStore("h", max_records=5)
+        for i in range(12):
+            touch(store, i, t=i * 0.001)
+        assert len(store) <= 5
+        assert store.evicted == 7
+
+    def test_stalest_evicted_first(self):
+        store = FlowRecordStore("h", max_records=3)
+        for i in range(3):
+            touch(store, i, t=i * 0.001)
+        touch(store, 0, t=0.010)  # refresh flow 0
+        touch(store, 99, t=0.011)  # push over the bound
+        assert store.get(key(1)) is None  # stalest gone
+        assert store.get(key(0)) is not None  # refreshed kept
+
+    def test_spill_preserves_evicted_records(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        store = FlowRecordStore("h", spill_path=spill, max_records=2)
+        for i in range(5):
+            touch(store, i, t=i * 0.001)
+        assert store.spilled == 3
+        loaded = FlowRecordStore.load_from_disk("h", spill)
+        assert len(loaded) == 3
+        assert loaded.get(key(0)).bytes == 100
+
+    def test_no_bound_no_eviction(self):
+        store = FlowRecordStore("h")
+        for i in range(100):
+            touch(store, i, t=0.0)
+        assert len(store) == 100
+        assert store.evicted == 0
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            FlowRecordStore("h", max_records=0)

@@ -1,0 +1,119 @@
+"""Unit tests for the flow-record store."""
+
+import pytest
+
+from repro.core.epoch import EpochRange
+from repro.hostd.records import FlowRecord, FlowRecordStore
+from repro.simnet.packet import FlowKey, PROTO_TCP, PROTO_UDP
+
+
+def key(i=0, proto=PROTO_TCP):
+    return FlowKey(f"src{i}", f"dst{i}", 100 + i, 200 + i, proto)
+
+
+def observe(rec, *, nbytes=100, t=0.0, priority=0,
+            path=("S1", "S2"), ranges=None, epoch=5):
+    if ranges is None:
+        ranges = {"S1": EpochRange(4, 6), "S2": EpochRange(5, 7)}
+    rec.observe(nbytes=nbytes, t=t, priority=priority,
+                switch_path=list(path), ranges=ranges,
+                observed_epoch=epoch)
+
+
+class TestFlowRecord:
+    def test_accumulates_bytes_and_packets(self):
+        rec = FlowRecord(flow=key())
+        observe(rec, nbytes=100, t=0.001)
+        observe(rec, nbytes=200, t=0.002)
+        assert rec.bytes == 300
+        assert rec.packets == 2
+        assert rec.first_seen == 0.001
+        assert rec.last_seen == 0.002
+
+    def test_epoch_ranges_union(self):
+        rec = FlowRecord(flow=key())
+        observe(rec, ranges={"S1": EpochRange(4, 6)})
+        observe(rec, ranges={"S1": EpochRange(8, 9)})
+        assert rec.epochs_at("S1") == EpochRange(4, 9)
+
+    def test_bytes_by_epoch(self):
+        rec = FlowRecord(flow=key())
+        observe(rec, nbytes=100, epoch=5)
+        observe(rec, nbytes=50, epoch=5)
+        observe(rec, nbytes=30, epoch=6)
+        assert rec.bytes_by_epoch == {5: 150, 6: 30}
+
+    def test_traversed(self):
+        rec = FlowRecord(flow=key())
+        observe(rec)
+        assert rec.traversed("S1") and rec.traversed("S2")
+        assert not rec.traversed("S9")
+
+    def test_priority_tracks_latest(self):
+        rec = FlowRecord(flow=key())
+        observe(rec, priority=2)
+        assert rec.priority == 2
+
+    def test_json_roundtrip(self):
+        rec = FlowRecord(flow=key())
+        observe(rec, nbytes=123, t=0.5, priority=1, epoch=9)
+        clone = FlowRecord.from_json(rec.to_json())
+        assert clone.flow == rec.flow
+        assert clone.bytes == 123
+        assert clone.epoch_ranges == rec.epoch_ranges
+        assert clone.bytes_by_epoch == rec.bytes_by_epoch
+        assert clone.priority == 1
+
+
+class TestFlowRecordStore:
+    def test_record_for_creates_once(self):
+        store = FlowRecordStore("h1")
+        a = store.record_for(key())
+        b = store.record_for(key())
+        assert a is b
+        assert len(store) == 1
+
+    def test_get_unknown_returns_none(self):
+        store = FlowRecordStore("h1")
+        assert store.get(key()) is None
+
+    def test_flows_through_switch_filter(self):
+        store = FlowRecordStore("h1")
+        observe(store.record_for(key(0)),
+                ranges={"S1": EpochRange(1, 2)}, path=("S1",))
+        observe(store.record_for(key(1)),
+                ranges={"S2": EpochRange(1, 2)}, path=("S2",))
+        hits = store.flows_through("S1")
+        assert [r.flow for r in hits] == [key(0)]
+
+    def test_flows_through_epoch_filter(self):
+        store = FlowRecordStore("h1")
+        observe(store.record_for(key(0)),
+                ranges={"S1": EpochRange(1, 2)}, path=("S1",))
+        observe(store.record_for(key(1)),
+                ranges={"S1": EpochRange(8, 9)}, path=("S1",))
+        hits = store.flows_through("S1", EpochRange(2, 4))
+        assert [r.flow for r in hits] == [key(0)]
+
+    def test_iteration(self):
+        store = FlowRecordStore("h1")
+        for i in range(3):
+            observe(store.record_for(key(i)))
+        assert len(list(store)) == 3
+
+
+class TestDiskSpill:
+    def test_flush_and_load_roundtrip(self, tmp_path):
+        spill = tmp_path / "records.jsonl"
+        store = FlowRecordStore("h1", spill_path=spill)
+        for i in range(4):
+            observe(store.record_for(key(i)), nbytes=100 * (i + 1))
+        assert store.flush_to_disk() == 4
+        loaded = FlowRecordStore.load_from_disk("h1", spill)
+        assert len(loaded) == 4
+        assert loaded.get(key(2)).bytes == 300
+
+    def test_flush_without_path_raises(self):
+        store = FlowRecordStore("h1")
+        with pytest.raises(RuntimeError):
+            store.flush_to_disk()

@@ -1,0 +1,90 @@
+"""Integration: aggregation queries over a live instrumented fabric."""
+
+import pytest
+
+from repro import SwitchPointerDeployment
+from repro.hostd import aggregate
+from repro.simnet import WorkloadGenerator, WorkloadSpec
+from repro.simnet.packet import make_udp
+from repro.simnet.topology import build_leaf_spine
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    net = build_leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=3,
+                           rate_bps=10e9)
+    deploy = SwitchPointerDeployment(net, alpha_ms=10, k=3,
+                                     epsilon_ms=1, delta_ms=2)
+    spec = WorkloadSpec(arrival_rate_per_s=1500, duration_s=0.03,
+                        mean_flow_bytes=20_000, flow_rate_bps=2e9,
+                        seed=99)
+    gen = WorkloadGenerator(net, spec)
+    flows = gen.schedule()
+    net.run(until=0.25)
+    results, _ = deploy.analyzer.consult_hosts(
+        net.host_names, lambda agent: agent.query.all_flows())
+    return net, deploy, flows, results
+
+
+class TestLiveAggregates:
+    def test_traffic_matrix_covers_generated_flows(self, fabric):
+        net, deploy, flows, results = fabric
+        matrix = aggregate.traffic_matrix(results)
+        pairs = {(f.flow.src, f.flow.dst) for f in flows}
+        assert pairs <= set(matrix)
+        assert all(v > 0 for v in matrix.values())
+
+    def test_bytes_per_switch_consistent_with_fib(self, fabric):
+        net, deploy, flows, results = fabric
+        per_switch = aggregate.bytes_per_switch(results)
+        # every leaf carries traffic; totals positive
+        assert per_switch.get("leaf0", 0) > 0
+        assert per_switch.get("leaf1", 0) > 0
+        # conservation: switch totals never exceed hop-count x delivered
+        delivered = sum(r.bytes for res in results.values()
+                        for r in res.payload)
+        assert sum(per_switch.values()) <= 3 * delivered
+
+    def test_heavy_hitters_ranked(self, fabric):
+        net, deploy, flows, results = fabric
+        hh = aggregate.heavy_hitters_per_link(results, top=3)
+        assert hh
+        for link, summaries in hh.items():
+            sizes = [s.bytes for s in summaries]
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_epoch_activity_totals(self, fabric):
+        net, deploy, flows, results = fabric
+        activity = aggregate.epoch_activity(results)
+        assert activity
+        total = sum(activity.values())
+        delivered = sum(r.bytes for res in results.values()
+                        for r in res.payload)
+        assert total == delivered
+
+    def test_contention_groups_nonempty_on_busy_trunk(self, fabric):
+        net, deploy, flows, results = fabric
+        groups = aggregate.contention_groups(results, "spine0")
+        flows_at_spine0 = [r for res in results.values()
+                           for r in res.payload
+                           if "spine0" in r.switch_path]
+        if flows_at_spine0:
+            assert groups
+            assert sum(len(g) for g in groups) == len(flows_at_spine0)
+
+
+class TestCrossValidation:
+    def test_matrix_agrees_with_directory(self, fabric):
+        """Every (switch, destination) implied by the records must be
+        present in that switch's pointer history — records and
+        directory describe the same traffic."""
+        net, deploy, flows, results = fabric
+        deploy.flush_all_tops()
+        for host, res in results.items():
+            for summary in res.payload:
+                for sw in summary.switch_path:
+                    agent = deploy.switch_agents[sw]
+                    rng = summary.epochs_at(sw)
+                    slots, _ = agent.best_effort_slots(rng.lo, rng.hi)
+                    hosts = deploy.directory.hosts_of(slots)
+                    assert summary.flow.dst in hosts, (sw, summary.flow)

@@ -1,0 +1,70 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("fig2a", "fig3", "fig8", "sizing"):
+            assert fig in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestSizing:
+    def test_paper_anchor(self, capsys):
+        assert main(["sizing", "--hosts", "1000000", "--alpha", "10",
+                     "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3.325 MB" in out
+        assert "90 ms" in out
+
+    def test_defaults(self, capsys):
+        assert main(["sizing"]) == 0
+        assert "n=100000" in capsys.readouterr().out
+
+
+class TestScenarios:
+    def test_fig2a_single_point(self, capsys):
+        assert main(["fig2a", "--flows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "starvation_ms" in out
+
+    def test_fig7_single_point(self, capsys):
+        assert main(["fig7", "--flows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "priority-contention" in out
+
+    def test_fig8_small(self, capsys):
+        assert main(["fig8", "--servers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "True" in out
+
+
+class TestScenarioCommands:
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "victim throughput at S1" in out
+        assert "diagnosis:" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "without cascade" in out
+        assert "with cascade" in out
+        assert "cascade chain" in out
+
+    def test_fig2b(self, capsys):
+        assert main(["fig2b", "--flows", "2"]) == 0
+        assert "starvation_ms" in capsys.readouterr().out

@@ -1,0 +1,144 @@
+"""Integration: the complete §3 walkthrough on each §5 application.
+
+Every test here runs the entire system — traffic through the simulated
+fabric, per-switch pointer maintenance + header embedding, destination
+decoding, trigger, alert, analyzer pointer retrieval, host consultation,
+verdict — exactly the loop the paper's example narrates.
+"""
+
+import pytest
+
+from repro.analyzer.apps import (diagnose_cascade, diagnose_contention,
+                                 diagnose_load_imbalance,
+                                 diagnose_red_lights)
+from repro.core.epoch import EpochRange
+from repro.scenarios import (run_cascades_scenario,
+                             run_contention_scenario,
+                             run_load_imbalance_scenario,
+                             run_red_lights_scenario)
+
+
+class TestTooMuchTraffic:
+    @pytest.mark.parametrize("m", [1, 4, 8])
+    def test_priority_contention_end_to_end(self, m):
+        res = run_contention_scenario(m, discipline="priority")
+        assert res.alerts, f"no alert for m={m}"
+        verdict = diagnose_contention(res.deployment.analyzer,
+                                      res.alerts[0])
+        assert verdict.problem == "priority-contention"
+        udp_culprits = {c.flow.src for c in verdict.culprits
+                        if c.flow.is_udp}
+        assert {f"h1_{j}" for j in range(1, m + 1)} <= udp_culprits
+
+    def test_starvation_grows_with_burst_size(self):
+        """Fig 2(a): larger m, longer victim starvation."""
+        starvation = {}
+        for m in (2, 8, 16):
+            res = run_contention_scenario(m, discipline="priority",
+                                          watch=False)
+            starvation[m] = res.starvation_ms()
+        assert starvation[2] < starvation[8] < starvation[16]
+        # m bursts of 1 ms each need ~m ms to drain at line rate
+        assert starvation[16] > 8.0
+
+    def test_interarrival_grows_with_burst_size(self):
+        gaps = {}
+        for m in (1, 4, 8):
+            res = run_contention_scenario(m, discipline="priority",
+                                          watch=False)
+            gaps[m] = res.max_gap_ms()
+        assert gaps[1] < gaps[4] < gaps[8]
+        assert gaps[8] == pytest.approx(8.0, rel=0.3)
+
+    def test_fifo_microburst_smaller_gap_inflation(self):
+        """Fig 2(b): FIFO spreads the pain; inter-arrival inflation is
+        far milder than under strict priority."""
+        prio = run_contention_scenario(8, discipline="priority",
+                                       watch=False)
+        fifo = run_contention_scenario(8, discipline="fifo", watch=False)
+        assert fifo.max_gap_ms() < prio.max_gap_ms() / 4
+
+    def test_large_burst_causes_timeout(self):
+        """§2.1: 'may, at the extreme, lead to TCP timeout'."""
+        res = run_contention_scenario(16, discipline="priority",
+                                      watch=False)
+        assert res.tcp_timeouts >= 1
+
+
+class TestTooManyRedLights:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_red_lights_scenario()
+
+    def test_cumulative_degradation_across_switches(self, res):
+        b1, d1 = res.burst1
+        window = (b1, res.burst2[0] + res.burst2[1] + 0.001)
+        s1_min = min(g for t, g in res.tput_at_s1.series()
+                     if window[0] <= t <= window[1])
+        s2_min = min(g for t, g in res.tput_at_s2.series()
+                     if window[0] <= t <= window[1])
+        dst_min = min(g for t, g in res.tput_at_dst.series()
+                      if window[0] <= t <= window[1])
+        assert s2_min <= s1_min
+        assert dst_min <= s1_min
+
+    def test_spatial_correlation_diagnosis(self, res):
+        assert res.alerts
+        verdict = diagnose_red_lights(res.deployment.analyzer,
+                                      res.alerts[0])
+        switches_with_culprits = {c.switch for c in verdict.culprits}
+        assert {"S1", "S2"} <= switches_with_culprits
+        # the two UDP flows are attributed to the right switches
+        srcs = {(c.switch, c.flow.src) for c in verdict.culprits}
+        assert ("S1", "B") in srcs
+        assert ("S2", "C") in srcs
+
+    def test_alert_names_full_path(self, res):
+        alert = res.alerts[0]
+        assert alert.switch_path == ["S1", "S2", "S3"]
+
+
+class TestTrafficCascades:
+    def test_cascade_chain_via_recursive_reexamination(self):
+        res = run_cascades_scenario(cascaded=True)
+        assert res.alerts
+        verdict = diagnose_cascade(res.deployment.analyzer, res.alerts[0])
+        assert verdict.cascade_chain == [res.flow_ce, res.flow_af,
+                                         res.flow_bd]
+        assert "cascade chain" in verdict.narrative
+
+    def test_without_contention_no_chain_found(self):
+        res = run_cascades_scenario(cascaded=False)
+        # even if a completion artifact alert fires, no cascade exists
+        if res.alerts:
+            verdict = diagnose_cascade(res.deployment.analyzer,
+                                       res.alerts[0])
+            assert res.flow_bd not in verdict.cascade_chain
+
+    def test_cascade_slows_victim_completion(self):
+        base = run_cascades_scenario(cascaded=False)
+        casc = run_cascades_scenario(cascaded=True)
+        assert casc.ce_completed_at > base.ce_completed_at
+
+
+class TestLoadImbalance:
+    def test_end_to_end_detection(self):
+        res = run_load_imbalance_scenario(6)
+        verdict = diagnose_load_imbalance(
+            res.deployment.analyzer, res.suspect_switch,
+            epochs=EpochRange(0, res.last_epoch))
+        assert verdict.imbalanced
+        assert len(verdict.hosts_consulted) == 6
+
+    def test_diagnosis_time_scales_with_servers(self):
+        """Fig 8: latency grows ~linearly with consulted servers."""
+        times = {}
+        for n in (4, 16):
+            res = run_load_imbalance_scenario(n)
+            verdict = diagnose_load_imbalance(
+                res.deployment.analyzer, res.suspect_switch,
+                epochs=EpochRange(0, res.last_epoch))
+            times[n] = verdict.total_time_s
+        assert times[16] > times[4]
+        ratio = (times[16] / times[4])
+        assert 2.0 < ratio < 4.5  # dominated by 4x connection setups

@@ -1,0 +1,85 @@
+"""Property-based tests: queue conservation and priority invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.packet import make_udp
+from repro.simnet.queues import DropTailFIFO, StrictPriorityQueue
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"),
+                  st.integers(min_value=64, max_value=1500),
+                  st.integers(min_value=0, max_value=2)),
+        st.tuples(st.just("deq"), st.just(0), st.just(0))),
+    max_size=200)
+
+
+def run_ops(q, sequence):
+    enqueued = dequeued = dropped = 0
+    for op, size, prio in sequence:
+        if op == "enq":
+            pkt = make_udp("a", "b", 1, 2, size, priority=prio)
+            if q.enqueue(pkt):
+                enqueued += size
+            else:
+                dropped += size
+        else:
+            pkt = q.dequeue()
+            if pkt is not None:
+                dequeued += pkt.size
+    return enqueued, dequeued, dropped
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequence=ops, capacity=st.integers(min_value=1500, max_value=8000))
+def test_fifo_byte_conservation(sequence, capacity):
+    q = DropTailFIFO(capacity_bytes=capacity)
+    enqueued, dequeued, dropped = run_ops(q, sequence)
+    assert enqueued == dequeued + q.depth_bytes
+    assert q.depth_bytes <= capacity
+    assert q.stats.bytes_dropped == dropped
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequence=ops, capacity=st.integers(min_value=1500, max_value=8000))
+def test_priority_byte_conservation(sequence, capacity):
+    q = StrictPriorityQueue(levels=3, capacity_bytes=capacity)
+    enqueued, dequeued, dropped = run_ops(q, sequence)
+    assert enqueued == dequeued + q.depth_bytes
+    assert q.depth_bytes <= capacity
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes_prios=st.lists(
+    st.tuples(st.integers(min_value=64, max_value=1500),
+              st.integers(min_value=0, max_value=2)),
+    min_size=1, max_size=50))
+def test_priority_drain_order_is_sorted(sizes_prios):
+    """Draining a strict-priority queue yields non-increasing classes."""
+    q = StrictPriorityQueue(levels=3, capacity_bytes=10**9)
+    for size, prio in sizes_prios:
+        q.enqueue(make_udp("a", "b", 1, 2, size, priority=prio))
+    drained = []
+    while True:
+        pkt = q.dequeue()
+        if pkt is None:
+            break
+        drained.append(pkt.priority)
+    assert drained == sorted(drained, reverse=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=64, max_value=1500),
+                      min_size=1, max_size=50))
+def test_fifo_preserves_order(sizes):
+    q = DropTailFIFO(capacity_bytes=10**9)
+    pkts = [make_udp("a", "b", i, 2, s) for i, s in enumerate(sizes)]
+    for p in pkts:
+        q.enqueue(p)
+    out = []
+    while True:
+        p = q.dequeue()
+        if p is None:
+            break
+        out.append(p)
+    assert out == pkts

@@ -1,0 +1,207 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simnet.engine import (PeriodicTimer, SimulationError, Simulator)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.5, fired.append, "late")
+        sim.schedule(0.1, fired.append, "early")
+        sim.schedule(0.3, fired.append, "mid")
+        sim.run()
+        assert fired == ["early", "mid", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_zero_delay_runs_after_current_instant_events(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(0.0, fired.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.schedule(1.0, fired.append, "sibling")
+        sim.run()
+        assert fired == ["outer", "sibling", "inner"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_kwargs_forwarded(self):
+        sim = Simulator()
+        got = {}
+        sim.schedule(0.1, lambda **kw: got.update(kw), x=1, y="z")
+        sim.run()
+        assert got == {"x": 1, "y": "z"}
+
+    def test_start_time(self):
+        sim = Simulator(start_time=10.0)
+        assert sim.now == 10.0
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10.5]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(0.2, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(0.2, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(0.1, fired.append, "keep")
+        drop = sim.schedule(0.2, fired.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert fired == ["keep"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0  # clock advanced to the until bound
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_exact_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "edge")
+        sim.run(until=2.0)
+        assert fired == ["edge"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(0.1 * (i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        err = {}
+
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                err["raised"] = exc
+
+        sim.schedule(0.1, recurse)
+        sim.run()
+        assert "raised" in err
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_pending_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTimer(sim, 0.1, lambda: ticks.append(sim.now))
+        sim.run(until=0.55)
+        assert len(ticks) == 5
+        assert ticks[0] == pytest.approx(0.1)
+        assert ticks[-1] == pytest.approx(0.5)
+
+    def test_stop_halts_timer(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 0.1, lambda: ticks.append(sim.now))
+        sim.schedule(0.25, timer.stop)
+        sim.run(until=1.0)
+        assert len(ticks) == 2
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        timer_box = {}
+
+        def cb():
+            timer_box["t"].stop()
+
+        timer_box["t"] = PeriodicTimer(sim, 0.1, cb)
+        sim.run(until=1.0)
+        assert timer_box["t"].ticks == 1
+
+    def test_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTimer(sim, 0.1, lambda: ticks.append(sim.now),
+                      start_delay=0.05)
+        sim.run(until=0.3)
+        assert ticks[0] == pytest.approx(0.05)
+        assert ticks[1] == pytest.approx(0.15)
+
+    def test_invalid_period(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_args_passed(self):
+        sim = Simulator()
+        got = []
+        PeriodicTimer(sim, 0.1, got.append, "tick")
+        sim.run(until=0.25)
+        assert got == ["tick", "tick"]

@@ -1,0 +1,131 @@
+"""Unit tests for links, interfaces, and the transmission model."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.packet import make_udp
+from repro.simnet.queues import DropTailFIFO
+
+
+class Recorder:
+    """Minimal Node: records (packet, time) arrivals."""
+
+    def __init__(self, name, sim):
+        self.name = name
+        self.sim = sim
+        self.got = []
+
+    def receive(self, pkt, iface):
+        self.got.append((pkt, self.sim.now))
+
+    def attach(self, iface):
+        pass
+
+
+def make_pair(sim, rate_bps=1e9, prop=2e-6, **kw):
+    a, b = Recorder("a", sim), Recorder("b", sim)
+    link = Link(sim, a, b, rate_bps=rate_bps, propagation_delay=prop, **kw)
+    return a, b, link
+
+
+class TestTransmission:
+    def test_delivery_latency_is_serialization_plus_propagation(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, rate_bps=1e9, prop=5e-6)
+        pkt = make_udp("a", "b", 1, 2, 1250)  # 1250 B = 10 µs at 1 Gbps
+        link.iface_a.send(pkt)
+        sim.run()
+        _, arrival = b.got[0]
+        assert arrival == pytest.approx(10e-6 + 5e-6)
+
+    def test_back_to_back_packets_serialize_sequentially(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, rate_bps=1e9, prop=0.0)
+        for i in range(3):
+            link.iface_a.send(make_udp("a", "b", i, 2, 1250))
+        sim.run()
+        times = [t for _, t in b.got]
+        assert times == pytest.approx([10e-6, 20e-6, 30e-6])
+
+    def test_full_duplex_directions_independent(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, rate_bps=1e9, prop=0.0)
+        link.iface_a.send(make_udp("a", "b", 1, 2, 1250))
+        link.iface_b.send(make_udp("b", "a", 2, 1, 1250))
+        sim.run()
+        assert len(a.got) == 1 and len(b.got) == 1
+        assert a.got[0][1] == pytest.approx(10e-6)
+        assert b.got[0][1] == pytest.approx(10e-6)
+
+    def test_queue_overflow_drops_and_send_reports(self):
+        sim = Simulator()
+        a, b, link = make_pair(
+            sim, queue_factory=lambda: DropTailFIFO(capacity_bytes=1500))
+        assert link.iface_a.send(make_udp("a", "b", 1, 2, 1500))
+        # transmitter grabbed the first packet; queue holds the second
+        assert link.iface_a.send(make_udp("a", "b", 1, 2, 1500))
+        assert not link.iface_a.send(make_udp("a", "b", 1, 2, 1500))
+        sim.run()
+        assert len(b.got) == 2
+
+    def test_tx_counters(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim)
+        link.iface_a.send(make_udp("a", "b", 1, 2, 500))
+        link.iface_a.send(make_udp("a", "b", 1, 2, 700))
+        sim.run()
+        assert link.iface_a.tx_packets == 2
+        assert link.iface_a.tx_bytes == 1200
+
+    def test_tx_taps_see_serialization_start(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim, rate_bps=1e9, prop=0.0)
+        taps = []
+        link.iface_a.tx_taps.append(lambda pkt, t: taps.append((pkt, t)))
+        p1 = make_udp("a", "b", 1, 2, 1250)
+        p2 = make_udp("a", "b", 1, 2, 1250)
+        link.iface_a.send(p1)
+        link.iface_a.send(p2)
+        sim.run()
+        assert [p for p, _ in taps] == [p1, p2]
+        assert taps[0][1] == pytest.approx(0.0)
+        assert taps[1][1] == pytest.approx(10e-6)
+
+
+class TestLinkWiring:
+    def test_iface_of_and_peer_of(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim)
+        assert link.iface_of(a) is link.iface_a
+        assert link.iface_of(b) is link.iface_b
+        assert link.peer_of(a) is b
+
+    def test_foreign_node_rejected(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim)
+        stranger = Recorder("x", sim)
+        with pytest.raises(ValueError):
+            link.iface_of(stranger)
+        with pytest.raises(ValueError):
+            link.peer_of(stranger)
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        a, b = Recorder("a", sim), Recorder("b", sim)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, rate_bps=0)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, propagation_delay=-1e-6)
+
+    def test_link_ids_unique(self):
+        sim = Simulator()
+        _, _, l1 = make_pair(sim)
+        _, _, l2 = make_pair(sim)
+        assert l1.link_id != l2.link_id
+
+    def test_interface_name(self):
+        sim = Simulator()
+        a, b, link = make_pair(sim)
+        assert link.iface_a.name == "a->b"
+        assert link.iface_b.name == "b->a"

@@ -1,0 +1,147 @@
+"""Unit tests for traffic generators."""
+
+import pytest
+
+from repro.simnet.packet import PRIO_HIGH, PRIO_LOW
+from repro.simnet.topology import Network
+from repro.simnet.traffic import (TcpBulkTransfer, TcpTimedFlow,
+                                  UdpCbrSource, UdpSink,
+                                  schedule_burst_batches)
+
+
+def star(n=4):
+    net = Network()
+    s = net.add_switch("S")
+    for i in range(n):
+        h = net.add_host(f"h{i}")
+        net.connect(h, s)
+    net.compute_routes()
+    return net
+
+
+class TestUdpCbr:
+    def test_packet_count_matches_rate_and_duration(self):
+        net = star(2)
+        sink = UdpSink(net.hosts["h1"], 7)
+        # 1 Gbps, 1250 B packets -> 10 µs spacing -> 100 packets per ms
+        UdpCbrSource(net.sim, net.hosts["h0"], "h1", sport=7, dport=7,
+                     rate_bps=1e9, packet_size=1250, start=0.0,
+                     duration=0.001)
+        net.run()
+        assert sink.packets == 100
+        assert sink.bytes == 100 * 1250
+
+    def test_source_respects_start_time(self):
+        net = star(2)
+        arrivals = []
+        UdpSink(net.hosts["h1"], 7,
+                on_packet=lambda p, t: arrivals.append(t))
+        UdpCbrSource(net.sim, net.hosts["h0"], "h1", sport=7, dport=7,
+                     rate_bps=1e9, start=0.005, duration=0.001)
+        net.run()
+        assert min(arrivals) >= 0.005
+
+    def test_priority_applied(self):
+        net = star(2)
+        prios = []
+        UdpSink(net.hosts["h1"], 7,
+                on_packet=lambda p, t: prios.append(p.priority))
+        UdpCbrSource(net.sim, net.hosts["h0"], "h1", sport=7, dport=7,
+                     rate_bps=1e8, priority=PRIO_HIGH, duration=0.001)
+        net.run()
+        assert prios and set(prios) == {PRIO_HIGH}
+
+    def test_invalid_parameters(self):
+        net = star(2)
+        with pytest.raises(ValueError):
+            UdpCbrSource(net.sim, net.hosts["h0"], "h1", sport=7, dport=7,
+                         rate_bps=0, duration=0.001)
+        with pytest.raises(ValueError):
+            UdpCbrSource(net.sim, net.hosts["h0"], "h1", sport=7, dport=7,
+                         rate_bps=1e9, duration=0)
+
+    def test_half_rate_spacing(self):
+        net = star(2)
+        arrivals = []
+        UdpSink(net.hosts["h1"], 7,
+                on_packet=lambda p, t: arrivals.append(t))
+        UdpCbrSource(net.sim, net.hosts["h0"], "h1", sport=7, dport=7,
+                     rate_bps=5e8, packet_size=1250, duration=0.001)
+        net.run()
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert gaps and all(g == pytest.approx(20e-6) for g in gaps)
+
+
+class TestBurstBatches:
+    def test_batches_start_at_gaps(self):
+        net = star(6)
+        seen = {}
+        for i in (1, 2):
+            UdpSink(net.hosts[f"h{i}"], 7000,
+                    on_packet=lambda p, t: seen.setdefault(p.flow.sport,
+                                                           t))
+            UdpSink(net.hosts[f"h{i}"], 7001,
+                    on_packet=lambda p, t: seen.setdefault(p.flow.sport,
+                                                           t))
+        senders = [net.hosts["h3"], net.hosts["h4"]]
+        receivers = ["h1", "h2"]
+        plans = schedule_burst_batches(
+            net.sim, senders, receivers, flow_counts=[1, 2],
+            first_start=0.010, gap=0.015)
+        net.run()
+        assert plans[0].start == pytest.approx(0.010)
+        assert plans[1].start == pytest.approx(0.025)
+        assert len(plans[0].sources) == 1
+        assert len(plans[1].sources) == 2
+
+    def test_insufficient_hosts_rejected(self):
+        net = star(3)
+        with pytest.raises(ValueError):
+            schedule_burst_batches(net.sim, [net.hosts["h0"]], ["h1"],
+                                   flow_counts=[2], first_start=0.0)
+
+    def test_distinct_source_destination_pairs(self):
+        net = star(8)
+        flows = set()
+        for i in range(1, 4):
+            UdpSink(net.hosts[f"h{i}"], 7000,
+                    on_packet=lambda p, t: flows.add(p.flow))
+        senders = [net.hosts[f"h{i}"] for i in range(4, 7)]
+        receivers = [f"h{i}" for i in range(1, 4)]
+        schedule_burst_batches(net.sim, senders, receivers,
+                               flow_counts=[3], first_start=0.0)
+        net.run()
+        assert len(flows) == 3
+        assert len({f.src for f in flows}) == 3
+        assert len({f.dst for f in flows}) == 3
+
+
+class TestTcpApps:
+    def test_bulk_transfer_completes(self):
+        net = star(2)
+        xfer = TcpBulkTransfer(net.sim, net.hosts["h0"], net.hosts["h1"],
+                               nbytes=200_000, sport=1, dport=2)
+        net.run(until=1.0)
+        assert xfer.completed_at is not None
+        assert xfer.receiver.rcv_next == 200_000
+
+    def test_timed_flow_stops_at_duration(self):
+        net = star(2)
+        flow = TcpTimedFlow(net.sim, net.hosts["h0"], net.hosts["h1"],
+                            duration=0.010, sport=1, dport=2)
+        net.run(until=0.050)
+        # sender stopped: bytes no longer growing
+        sent = flow.sender.snd_next
+        net.run(until=0.100)
+        assert flow.sender.snd_next == sent
+        # roughly 10 ms at ~1 Gbps
+        assert 500_000 < sent < 1_400_000
+
+    def test_payload_callback_invoked(self):
+        net = star(2)
+        got = []
+        TcpBulkTransfer(net.sim, net.hosts["h0"], net.hosts["h1"],
+                        nbytes=50_000, sport=1, dport=2,
+                        on_payload=lambda p, t: got.append(p))
+        net.run(until=1.0)
+        assert sum(p.payload_bytes for p in got) == 50_000

@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.simnet.topology import build_leaf_spine
+from repro.simnet.workload import (GeneratedFlow, WorkloadGenerator,
+                                   WorkloadSpec)
+
+
+def fabric():
+    return build_leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=4,
+                            rate_bps=10e9)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival_rate_per_s=0)
+
+    def test_rejects_infinite_mean_tail(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(pareto_shape=0.9)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(min_flow_bytes=100, max_flow_bytes=50)
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        net1, net2 = fabric(), fabric()
+        spec = WorkloadSpec(duration_s=0.02, seed=7)
+        flows1 = WorkloadGenerator(net1, spec).schedule()
+        flows2 = WorkloadGenerator(net2, spec).schedule()
+        assert [(f.flow, f.size_bytes, f.start) for f in flows1] == \
+            [(f.flow, f.size_bytes, f.start) for f in flows2]
+
+    def test_different_seed_differs(self):
+        spec_a = WorkloadSpec(duration_s=0.02, seed=1)
+        spec_b = WorkloadSpec(duration_s=0.02, seed=2)
+        fa = WorkloadGenerator(fabric(), spec_a).schedule()
+        fb = WorkloadGenerator(fabric(), spec_b).schedule()
+        assert [f.size_bytes for f in fa] != [f.size_bytes for f in fb]
+
+    def test_arrival_count_near_rate(self):
+        spec = WorkloadSpec(arrival_rate_per_s=5000, duration_s=0.1,
+                            seed=3)
+        flows = WorkloadGenerator(fabric(), spec).schedule()
+        assert 350 < len(flows) < 650  # Poisson(500) +- ~5 sigma
+
+    def test_sizes_within_bounds(self):
+        spec = WorkloadSpec(duration_s=0.05, min_flow_bytes=2000,
+                            max_flow_bytes=50_000, seed=5)
+        flows = WorkloadGenerator(fabric(), spec).schedule()
+        assert flows
+        for f in flows:
+            assert 2000 <= f.size_bytes <= 50_000
+
+    def test_no_self_flows(self):
+        spec = WorkloadSpec(duration_s=0.05, seed=6)
+        flows = WorkloadGenerator(fabric(), spec).schedule()
+        assert all(f.flow.src != f.flow.dst for f in flows)
+
+    def test_sender_receiver_scoping(self):
+        net = fabric()
+        spec = WorkloadSpec(duration_s=0.05, seed=8)
+        gen = WorkloadGenerator(net, spec, senders=["h0_0", "h0_1"],
+                                receivers=["h1_0"])
+        flows = gen.schedule()
+        assert {f.flow.src for f in flows} <= {"h0_0", "h0_1"}
+        assert {f.flow.dst for f in flows} == {"h1_0"}
+
+    def test_traffic_actually_delivered(self):
+        net = fabric()
+        spec = WorkloadSpec(arrival_rate_per_s=500, duration_s=0.02,
+                            mean_flow_bytes=10_000, seed=9)
+        gen = WorkloadGenerator(net, spec)
+        flows = gen.schedule()
+        net.run(until=0.2)
+        delivered = sum(h.rx_packets for h in net.hosts.values())
+        assert delivered >= len(flows)  # every flow landed >= 1 packet
+
+
+class TestHeavyTail:
+    def test_elephants_carry_most_bytes(self):
+        spec = WorkloadSpec(arrival_rate_per_s=20_000, duration_s=0.05,
+                            mean_flow_bytes=100_000, pareto_shape=1.2,
+                            seed=11)
+        gen = WorkloadGenerator(fabric(), spec)
+        gen.schedule()
+        p = gen.size_percentiles((50, 99))
+        assert p[99] > 10 * p[50]  # heavy tail
+        assert gen.elephant_byte_share(500_000) > 0.3
+
+    def test_percentiles_empty(self):
+        gen = WorkloadGenerator(fabric(), WorkloadSpec(seed=1))
+        assert gen.size_percentiles() == {50: 0, 90: 0, 99: 0}

@@ -1,0 +1,87 @@
+"""Unit tests for the switch control-plane agent."""
+
+import pytest
+
+from repro.core.epoch import EpochClock
+from repro.core.pointer import HierarchicalPointerStore
+from repro.simnet.engine import Simulator
+from repro.switchd.agent import ControlPlaneStore, SwitchAgent
+from repro.switchd.rules import RuleTable
+
+
+def make_agent(alpha=10, k=2, n=50):
+    clock = EpochClock(alpha)
+    store = HierarchicalPointerStore(n, alpha=alpha, k=k)
+    agent = SwitchAgent("S1", clock, store)
+    return agent, store
+
+
+class TestPullApi:
+    def test_pull_returns_covering_snapshots(self):
+        agent, store = make_agent()
+        store.update(epoch=3, slot=7)
+        store.update(epoch=4, slot=9)
+        snaps = agent.pull(level=1, epoch_lo=3, epoch_hi=4)
+        assert [s.segment for s in snaps] == [3, 4]
+        assert agent.pull_requests == 1
+
+    def test_pull_hosts_slots_union(self):
+        agent, store = make_agent()
+        store.update(epoch=3, slot=7)
+        store.update(epoch=4, slot=9)
+        assert agent.pull_hosts_slots(3, 4) == {7, 9}
+
+    def test_pull_empty_window(self):
+        agent, _ = make_agent()
+        assert agent.pull(level=1, epoch_lo=0, epoch_hi=5) == []
+
+
+class TestPushModel:
+    def test_pushes_recorded_with_bandwidth(self):
+        agent, store = make_agent(alpha=10, k=2, n=80)
+        # top window = 10 epochs; cross two boundaries
+        for e in range(25):
+            store.update(epoch=e, slot=e % 80)
+        assert len(agent.pushed_history) == 2
+        assert agent.bytes_pushed == 2 * 10  # 80 bits -> 10 bytes each
+        assert agent.push_bandwidth_bps(1.0) == pytest.approx(160.0)
+
+    def test_offline_slots_from_history(self):
+        agent, store = make_agent(alpha=10, k=2)
+        for e in range(10):
+            store.update(epoch=e, slot=e)
+        store.update(epoch=10, slot=42)  # pushes window 0
+        assert agent.offline_slots(0, 9) == set(range(10))
+        assert agent.offline_slots(20, 30) == set()
+
+    def test_zero_elapsed_bandwidth(self):
+        agent, _ = make_agent()
+        assert agent.push_bandwidth_bps(0.0) == 0.0
+
+
+class TestEpochProcess:
+    def test_rule_updates_once_per_epoch(self):
+        sim = Simulator()
+        clock = EpochClock(10)
+        store = HierarchicalPointerStore(10, alpha=10, k=2)
+        table = RuleTable(switch_name="S1", port_count=4, alpha_ms=10,
+                          enforce_commodity_limit=False)
+        agent = SwitchAgent("S1", clock, store, rule_table=table)
+        timer = agent.start_epoch_process(sim)
+        sim.run(until=0.055)
+        timer.stop()
+        assert table.epoch_updates == 5
+
+
+class TestControlPlaneStore:
+    def test_ingest_and_query(self):
+        cps = ControlPlaneStore()
+        agent, store = make_agent(alpha=10, k=2)
+        store.on_push = lambda snap: cps.ingest("S1", snap)
+        for e in range(10):
+            store.update(epoch=e, slot=e)
+        store.flush_top()
+        assert len(cps.snapshots("S1")) == 1
+        assert cps.slots_for("S1", 0, 9) == set(range(10))
+        assert cps.slots_for("S1", 50, 60) == set()
+        assert cps.snapshots("S9") == []

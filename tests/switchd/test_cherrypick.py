@@ -1,0 +1,114 @@
+"""Unit tests for CherryPick link sampling and path reconstruction."""
+
+import pytest
+
+from repro.simnet.packet import PROTO_UDP, make_udp
+from repro.simnet.topology import (TopologyError, build_fat_tree,
+                                   build_leaf_spine, build_linear)
+from repro.switchd.cherrypick import CherryPickPlanner
+
+
+class TestLinear:
+    def test_every_chain_link_pins(self):
+        net = build_linear(3, 1)
+        planner = CherryPickPlanner(net)
+        for pair in (("S1", "S2"), ("S2", "S3")):
+            link = net.link_between(*pair)
+            assert planner.pins_path("h1_0", "h3_0", link)
+
+    def test_reconstruction_matches_route(self):
+        net = build_linear(3, 1)
+        planner = CherryPickPlanner(net)
+        link = net.link_between("S1", "S2")
+        path = planner.reconstruct_path("h1_0", "h3_0", link.vlan_id)
+        assert path == ["h1_0", "S1", "S2", "S3", "h3_0"]
+
+    def test_switch_path_trims_hosts(self):
+        net = build_linear(3, 1)
+        planner = CherryPickPlanner(net)
+        link = net.link_between("S2", "S3")
+        assert planner.switch_path("h1_0", "h3_0",
+                                   link.vlan_id) == ["S1", "S2", "S3"]
+
+    def test_off_path_link_does_not_pin(self):
+        net = build_linear(3, 2)
+        planner = CherryPickPlanner(net)
+        stray = net.link_between("h2_0", "S2")
+        assert not planner.pins_path("h1_0", "h3_0", stray)
+        with pytest.raises(TopologyError):
+            planner.reconstruct_path("h1_0", "h3_0", stray.vlan_id)
+
+
+class TestLeafSpine:
+    def test_leaf_spine_link_pins_cross_leaf_path(self):
+        net = build_leaf_spine(4, 3, 2)
+        planner = CherryPickPlanner(net)
+        link = net.link_between("leaf0", "spine2")
+        assert planner.pins_path("h0_0", "h3_1", link)
+        path = planner.reconstruct_path("h0_0", "h3_1", link.vlan_id)
+        assert path == ["h0_0", "leaf0", "spine2", "leaf3", "h3_1"]
+
+    def test_host_link_does_not_pin_multipath(self):
+        """With >= 2 spines the src host link lies on every shortest
+        path, so it cannot disambiguate."""
+        net = build_leaf_spine(4, 2, 2)
+        planner = CherryPickPlanner(net)
+        host_link = net.link_between("h0_0", "leaf0")
+        assert not planner.pins_path("h0_0", "h3_1", host_link)
+
+
+class TestFatTree:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_fat_tree(4)
+
+    def test_agg_core_link_pins_interpod_path(self, net):
+        """The paper's §4.1.3 example: one aggregate-core link pins a
+        5-hop fat-tree path."""
+        planner = CherryPickPlanner(net)
+        link = net.link_between("agg0_0", "core0")
+        src, dst = "h0_0_0", "h2_0_0"
+        assert planner.pins_path(src, dst, link)
+        path = planner.reconstruct_path(src, dst, link.vlan_id)
+        switches = [n for n in path if n in net.switches]
+        assert len(switches) == 5
+        assert switches[2] == "core0"
+
+    def test_embedding_hop_found_for_all_pairs(self, net):
+        planner = CherryPickPlanner(net)
+        pairs = [("h0_0_0", "h1_0_0"), ("h0_0_0", "h0_1_0"),
+                 ("h2_1_1", "h3_0_1")]
+        for src, dst in pairs:
+            assert planner.embedding_hop(src, dst) is not None
+
+    def test_reconstruction_equals_ground_truth_hops(self, net):
+        """Send a real packet; the trajectory reconstructed from the
+        pinning link must equal the switches it actually traversed."""
+        planner = CherryPickPlanner(net)
+        src, dst = "h0_0_0", "h3_1_1"
+        got = []
+        net.hosts[dst].bind(PROTO_UDP, 9, lambda p, t: got.append(p))
+        net.hosts[src].send(make_udp(src, dst, 1, 9, 500))
+        net.run()
+        true_hops = got[0].hops
+        # find the on-path link that pins, as the datapath would
+        nodes = [src] + true_hops + [dst]
+        pinning = None
+        for a, b in zip(nodes, nodes[1:]):
+            link = net.link_between(a, b)
+            if planner.pins_path(src, dst, link):
+                pinning = link
+                break
+        assert pinning is not None
+        assert planner.switch_path(src, dst, pinning.vlan_id) == true_hops
+
+
+class TestCaching:
+    def test_pins_cached(self):
+        net = build_linear(3, 1)
+        planner = CherryPickPlanner(net)
+        link = net.link_between("S1", "S2")
+        assert planner.pins_path("h1_0", "h3_0", link)
+        assert ("h1_0", "h3_0", link.link_id) in planner._pins_cache
+        # second call hits the cache (same answer)
+        assert planner.pins_path("h1_0", "h3_0", link)
