@@ -18,7 +18,7 @@ from repro.core.mphf import MinimalPerfectHash
 from repro.simnet.packet import make_udp
 from repro.simnet.topology import build_linear
 
-from .reporting import emit
+from benchmarks.reporting import emit
 
 
 def strawman_buckets_for_collision_target(m: int, target_fraction: float

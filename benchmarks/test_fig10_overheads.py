@@ -19,7 +19,7 @@ from repro.core.sizing import (push_bandwidth_bps, sweep,
                                total_switch_memory_bytes)
 from repro.switchd.agent import SwitchAgent
 
-from .reporting import emit
+from benchmarks.reporting import emit
 
 NS = [100_000, 1_000_000]
 ALPHAS = [10, 20]

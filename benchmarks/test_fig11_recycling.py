@@ -13,7 +13,7 @@ import pytest
 from repro.core.pointer import HierarchicalPointerStore
 from repro.core.sizing import recycling_period_ms
 
-from .reporting import emit
+from benchmarks.reporting import emit
 
 ALPHAS = [10, 20, 30]
 LEVELS = [1, 2]

@@ -22,7 +22,7 @@ from repro.rpc.fabric import RpcFabric
 from repro.simnet.packet import make_udp
 from repro.simnet.topology import Network
 
-from .reporting import emit
+from benchmarks.reporting import emit
 
 TOTAL_SERVERS = 96
 RELEVANT_COUNTS = [1, 8, 16, 32, 64, 96]

@@ -14,7 +14,7 @@ import pytest
 
 from repro.scenarios import run_contention_scenario
 
-from .reporting import emit, fmt_series
+from benchmarks.reporting import emit, fmt_series
 
 FLOW_COUNTS = [1, 2, 4, 8, 16]
 

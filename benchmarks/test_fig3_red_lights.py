@@ -12,7 +12,7 @@ import pytest
 
 from repro.scenarios import run_red_lights_scenario
 
-from .reporting import emit, fmt_series
+from benchmarks.reporting import emit, fmt_series
 
 
 @pytest.mark.benchmark(group="fig3")

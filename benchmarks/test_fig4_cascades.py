@@ -14,7 +14,7 @@ import pytest
 
 from repro.scenarios import run_cascades_scenario
 
-from .reporting import emit, fmt_series
+from benchmarks.reporting import emit, fmt_series
 
 
 @pytest.mark.benchmark(group="fig4")

@@ -13,7 +13,7 @@ import pytest
 from repro.analyzer.apps import diagnose_contention
 from repro.scenarios import run_contention_scenario
 
-from .reporting import emit
+from benchmarks.reporting import emit
 
 FLOW_COUNTS = [1, 2, 4, 8, 16]
 

@@ -17,7 +17,7 @@ from repro.analyzer.apps import diagnose_load_imbalance
 from repro.core.epoch import EpochRange
 from repro.scenarios import run_load_imbalance_scenario
 
-from .reporting import emit
+from benchmarks.reporting import emit
 
 SERVER_COUNTS = [4, 8, 16, 32, 64, 96]
 

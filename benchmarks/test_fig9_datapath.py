@@ -20,7 +20,7 @@ from repro.core.mphf import MinimalPerfectHash
 from repro.core.pointer import HierarchicalPointerStore
 from repro.switchd.datapath import VanillaDatapath
 
-from .reporting import emit
+from benchmarks.reporting import emit
 
 N_DESTS = 20_000
 BATCH = 2_000

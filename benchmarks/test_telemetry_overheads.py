@@ -17,7 +17,7 @@ from repro.simnet.packet import make_udp
 from repro.simnet.topology import build_fat_tree
 from repro.switchd.datapath import MODE_INT, MODE_VLAN
 
-from .reporting import emit
+from benchmarks.reporting import emit
 
 
 @pytest.mark.benchmark(group="telemetry")

@@ -60,6 +60,10 @@ class Analyzer:
         self.rpc = rpc if rpc is not None else RpcFabric()
         self.control_store = control_store
         self.alerts: list[VictimAlert] = []
+        # topology cache (§4.3 pruning): per-source shortest-path link
+        # sets, computed with one BFS per source per topology version
+        self._topo_graph: Optional[nx.Graph] = None
+        self._links_from: dict[str, dict[str, frozenset]] = {}
 
     # -- alert ingestion -------------------------------------------------------
 
@@ -111,6 +115,45 @@ class Analyzer:
                                       hosts=kept, pruned=dropped))
         return out, bd
 
+    # -- topology cache ---------------------------------------------------------
+
+    def invalidate_topology_cache(self) -> None:
+        """Drop memoized shortest-path link sets (topology changed)."""
+        self._topo_graph = None
+        self._links_from.clear()
+
+    def _cached_graph(self) -> nx.Graph:
+        """The network graph, auto-invalidating the path-link cache.
+
+        :meth:`Network.graph` returns a new object whenever nodes or
+        links changed, so an identity check is enough to notice any
+        topology edit without the network having to call back into us.
+        """
+        g = self.network.graph()
+        if g is not self._topo_graph:
+            self._topo_graph = g
+            self._links_from.clear()
+        return g
+
+    def _path_link_sets_from(self, source: str) -> dict[str, frozenset]:
+        """For every node reachable from ``source``: the undirected link
+        set of one shortest path to it.
+
+        One BFS per (topology, source), memoized — pruning an alert no
+        longer costs one shortest-path search per candidate host.
+        """
+        g = self._cached_graph()
+        cached = self._links_from.get(source)
+        if cached is None:
+            cached = {}
+            if source in g:
+                for node, path in nx.single_source_shortest_path(
+                        g, source).items():
+                    cached[node] = frozenset(
+                        frozenset(pair) for pair in zip(path, path[1:]))
+            self._links_from[source] = cached
+        return cached
+
     # -- search-radius pruning (§4.3) ------------------------------------------
 
     def _path_links(self, flow, switch_path: Sequence[str]
@@ -121,18 +164,16 @@ class Analyzer:
         between consecutive waypoints are filled by shortest paths so
         pruning never sees a disconnected fragment.
         """
-        g = self.network.graph()
+        g = self._cached_graph()
         nodes = [flow.src] + [s for s in switch_path] + [flow.dst]
         links: set[frozenset] = set()
         for a, b in zip(nodes, nodes[1:]):
             if a == b or a not in g or b not in g:
                 continue
-            try:
-                segment = nx.shortest_path(g, a, b)
-            except nx.NetworkXNoPath:
-                continue
-            links.update(frozenset(pair)
-                         for pair in zip(segment, segment[1:]))
+            segment_links = self._path_link_sets_from(a).get(b)
+            if segment_links is None:
+                continue  # no path between the waypoints
+            links.update(segment_links)
         return links
 
     def _prune(self, switch: str, hosts: list[str],
@@ -145,16 +186,11 @@ class Analyzer:
         reached via disjoint segments cannot have shared a queue with
         the victim and are dropped from the search radius.
         """
-        g = self.network.graph()
+        reach = self._path_link_sets_from(switch)
         kept, dropped = [], []
         for h in hosts:
-            try:
-                path = nx.shortest_path(g, switch, h)
-            except nx.NetworkXNoPath:
-                dropped.append(h)
-                continue
-            links = {frozenset(pair) for pair in zip(path, path[1:])}
-            if links & victim_links:
+            links = reach.get(h)
+            if links is not None and links & victim_links:
                 kept.append(h)
             else:
                 dropped.append(h)
@@ -203,7 +239,9 @@ class Analyzer:
         whenever end-hosts are (permanently) added and pushes it to all
         switches.  Here redistribution means handing the new directory
         to the caller, which rewires the switch datapaths; tests use
-        this to cover the host-churn path.
+        this to cover the host-churn path.  Host churn implies the
+        topology changed, so the memoized path-link sets go with it.
         """
         self.directory = HostDirectory(list(hosts))
+        self.invalidate_topology_cache()
         return self.directory

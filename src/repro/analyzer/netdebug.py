@@ -125,6 +125,10 @@ def check_path_conformance(analyzer: Analyzer, *,
         targets, lambda agent: agent.query.all_flows())
     report.breakdown = bd
     net = analyzer.network
+    # many flows share endpoints: compute each pair's shortest-path set
+    # once per sweep, not once per flow
+    shortest_cache: dict[tuple[str, str], Optional[set[tuple[str, ...]]]]
+    shortest_cache = {}
     for host, res in results.items():
         for summary in res.payload:
             report.flows_checked += 1
@@ -143,7 +147,7 @@ def check_path_conformance(analyzer: Analyzer, *,
                         kind="off-policy",
                         detail=f"expected {expected_paths[flow]}"))
                 continue
-            if not _is_shortest(net, flow, path):
+            if not _is_shortest(net, flow, path, shortest_cache):
                 report.violations.append(ConformanceViolation(
                     flow=flow, host=host, observed_path=path,
                     kind="non-shortest",
@@ -151,10 +155,18 @@ def check_path_conformance(analyzer: Analyzer, *,
     return report
 
 
-def _is_shortest(net, flow: FlowKey, switch_path: list[str]) -> bool:
-    try:
-        candidates = net.shortest_paths(flow.src, flow.dst)
-    except Exception:
+def _is_shortest(net, flow: FlowKey, switch_path: list[str],
+                 cache: dict[tuple[str, str],
+                             Optional[set[tuple[str, ...]]]]) -> bool:
+    pair = (flow.src, flow.dst)
+    if pair not in cache:
+        try:
+            cache[pair] = {tuple(p)
+                           for p in net.shortest_paths(*pair)}
+        except Exception:
+            cache[pair] = None
+    candidates = cache[pair]
+    if candidates is None:
         return False
-    observed = [flow.src] + list(switch_path) + [flow.dst]
+    observed = (flow.src, *switch_path, flow.dst)
     return observed in candidates

@@ -111,8 +111,7 @@ class TelemetryDecoder:
     def _update(self, pkt: Packet, now: float, switches: list[str],
                 ranges: dict[str, EpochRange],
                 observed: Optional[int]) -> None:
-        rec = self.store.record_for(pkt.flow)
-        rec.observe(nbytes=pkt.size, t=now, priority=pkt.priority,
-                    switch_path=switches, ranges=ranges,
-                    observed_epoch=observed)
+        self.store.ingest(pkt.flow, nbytes=pkt.size, t=now,
+                          priority=pkt.priority, switch_path=switches,
+                          ranges=ranges, observed_epoch=observed)
         self.decoded += 1

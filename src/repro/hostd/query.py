@@ -13,13 +13,19 @@ implementations PathDump/SwitchPointer hosts execute locally:
 * :meth:`QueryEngine.flow_details` — telemetry for one flow (priority,
   per-epoch bytes) used during contention diagnosis (§5.1).
 
-Every method reports ``records_scanned`` so the RPC latency model can
-charge execution cost proportionally.
+Switch-filtered queries are served from the record store's per-switch
+inverted index, so their cost is proportional to the records *at the
+switch*, not the records on the host; ``top_k_flows`` selects with a
+bounded heap instead of a full sort.  Every method reports
+``records_scanned`` — the number of records the index actually
+examined — so the RPC latency model charges execution cost for the work
+done, not for the table size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 from typing import Optional
 
 from ..core.epoch import EpochRange
@@ -27,7 +33,7 @@ from ..simnet.packet import FlowKey
 from .records import FlowRecord, FlowRecordStore
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryResult:
     """Query payload + the execution-cost accounting the RPC model uses."""
 
@@ -36,30 +42,99 @@ class QueryResult:
     records_returned: int = 0
 
 
-@dataclass
 class FlowSummary:
-    """Wire form of one flow's telemetry sent back to the analyzer."""
+    """Wire form of one flow's telemetry sent back to the analyzer.
 
-    flow: FlowKey
-    bytes: int
-    packets: int
-    priority: int
-    switch_path: list[str] = field(default_factory=list)
-    epoch_ranges: dict[str, tuple[int, int]] = field(default_factory=dict)
-    bytes_by_epoch: dict[int, int] = field(default_factory=dict)
+    Scalars are snapshotted when the summary is built; the container
+    fields (``switch_path``, ``epoch_ranges``, ``bytes_by_epoch``) of a
+    summary built from a record via :meth:`of` are materialized lazily,
+    so queries that return many summaries but whose consumers read only
+    flow/bytes (top-k merge, contention filtering) never pay for
+    copying per-switch telemetry they do not look at.  All three
+    containers snapshot *together* on the first access to any of them,
+    so a summary is always internally consistent; when querying a store
+    that is still ingesting, touch the summary before the next ingest
+    to pin its contents.
+    """
+
+    __slots__ = ("flow", "bytes", "packets", "priority",
+                 "_switch_path", "_epoch_ranges", "_bytes_by_epoch", "_rec")
+
+    def __init__(self, flow: FlowKey, bytes: int, packets: int,
+                 priority: int,
+                 switch_path: Optional[list[str]] = None,
+                 epoch_ranges: Optional[dict[str,
+                                             tuple[int, int]]] = None,
+                 bytes_by_epoch: Optional[dict[int, int]] = None):
+        self.flow = flow
+        self.bytes = bytes
+        self.packets = packets
+        self.priority = priority
+        self._switch_path = switch_path if switch_path is not None else []
+        self._epoch_ranges = epoch_ranges if epoch_ranges is not None else {}
+        self._bytes_by_epoch = (bytes_by_epoch
+                                if bytes_by_epoch is not None else {})
+        self._rec: Optional[FlowRecord] = None
 
     @classmethod
     def of(cls, rec: FlowRecord) -> "FlowSummary":
-        return cls(flow=rec.flow, bytes=rec.bytes, packets=rec.packets,
-                   priority=rec.priority,
-                   switch_path=list(rec.switch_path),
-                   epoch_ranges={sw: (r.lo, r.hi)
-                                 for sw, r in rec.epoch_ranges.items()},
-                   bytes_by_epoch=dict(rec.bytes_by_epoch))
+        # hot path: one summary per returned record on every query —
+        # set slots directly instead of going through __init__
+        summary = cls.__new__(cls)
+        summary.flow = rec.flow
+        summary.bytes = rec.bytes
+        summary.packets = rec.packets
+        summary.priority = rec.priority
+        summary._switch_path = None
+        summary._epoch_ranges = None
+        summary._bytes_by_epoch = None
+        summary._rec = rec
+        return summary
+
+    def _materialize(self) -> None:
+        rec = self._rec
+        self._switch_path = list(rec.switch_path)
+        self._epoch_ranges = {sw: (r.lo, r.hi)
+                              for sw, r in rec.epoch_ranges.items()}
+        self._bytes_by_epoch = dict(rec.bytes_by_epoch)
+
+    @property
+    def switch_path(self) -> list[str]:
+        if self._switch_path is None:
+            self._materialize()
+        return self._switch_path
+
+    @property
+    def epoch_ranges(self) -> dict[str, tuple[int, int]]:
+        if self._epoch_ranges is None:
+            self._materialize()
+        return self._epoch_ranges
+
+    @property
+    def bytes_by_epoch(self) -> dict[int, int]:
+        if self._bytes_by_epoch is None:
+            self._materialize()
+        return self._bytes_by_epoch
 
     def epochs_at(self, switch: str) -> Optional[EpochRange]:
         pair = self.epoch_ranges.get(switch)
         return EpochRange(*pair) if pair else None
+
+    def _astuple(self) -> tuple:
+        return (self.flow, self.bytes, self.packets, self.priority,
+                self.switch_path, self.epoch_ranges, self.bytes_by_epoch)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowSummary):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        return (f"FlowSummary(flow={self.flow!r}, bytes={self.bytes}, "
+                f"packets={self.packets}, priority={self.priority}, "
+                f"switch_path={self.switch_path!r}, "
+                f"epoch_ranges={self.epoch_ranges!r}, "
+                f"bytes_by_epoch={self.bytes_by_epoch!r})")
 
 
 class QueryEngine:
@@ -71,19 +146,25 @@ class QueryEngine:
 
     def _scan(self, switch: Optional[str],
               epochs: Optional[EpochRange]) -> tuple[list[FlowRecord], int]:
-        scanned = len(self.store)
         if switch is None:
-            return list(self.store), scanned
-        return self.store.flows_through(switch, epochs), scanned
+            return list(self.store), len(self.store)
+        return self.store.scan_through(switch, epochs)
 
     def top_k_flows(self, k: int, *, switch: Optional[str] = None,
                     epochs: Optional[EpochRange] = None) -> QueryResult:
-        """The ``k`` largest flows (by bytes) seen through ``switch``."""
+        """The ``k`` largest flows (by bytes) seen through ``switch``.
+
+        Selection runs on a size-``k`` heap (O(m log k)) and only the
+        winners are summarized — the losers are never materialized.
+        """
         if k < 1:
             raise ValueError("k must be >= 1")
         self.queries_served += 1
         matches, scanned = self._scan(switch, epochs)
-        top = sorted(matches, key=lambda r: (-r.bytes, r.flow))[:k]
+        # nsmallest on (-bytes, flow) == "largest bytes, flow tiebreak",
+        # bit-for-bit the order full-sorting produced
+        top = heapq.nsmallest(k, matches,
+                              key=lambda r: (-r.bytes, r.flow))
         payload = [FlowSummary.of(r) for r in top]
         return QueryResult(payload=payload, records_scanned=scanned,
                            records_returned=len(payload))

@@ -7,11 +7,31 @@ switchID, byte/packet counts, and a DSCP value as flow priority —
 implemented using MongoDB".  We reproduce the same record schema with an
 in-memory table plus a JSON-lines spill file standing in for MongoDB
 (the storage backend is irrelevant to system behaviour; see DESIGN.md).
+
+Beyond the flat table, the store maintains a **per-switch inverted
+index** so the (switchID, epochID) header filter of §3 no longer scans
+every record on the host.  Index invariants:
+
+* ``_by_switch[sw]`` holds exactly the live records ``r`` with
+  ``sw in r.epoch_ranges`` — membership is added the moment a record
+  first observes ``sw`` (via the record's store listener) and removed
+  when the record is evicted or replaced.
+* ``_sorted[sw]``, when present, is a cache of the bucket ordered by
+  ``(epoch lo at sw, record creation seq)``; it is dropped whenever the
+  bucket's membership changes or any member's ``lo`` at ``sw`` moves
+  (``lo`` only ever decreases under :meth:`EpochRange.union`), and
+  rebuilt lazily on the next windowed query.  ``hi`` extensions never
+  invalidate it: queries read ``hi`` from the live record.
+* query results are ordered by record creation sequence, which equals
+  the flat table's insertion order — indexed queries return
+  byte-identical payloads to a linear scan of ``_records``.
 """
 
 from __future__ import annotations
 
+import heapq
 import json
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
@@ -29,6 +49,11 @@ class FlowRecord:
     *observed* (embedding-switch) epochID — the "<switchID, a list of
     epochIDs, a list of byte counts per epoch>" tuples of §5.1 are
     assembled from these two.
+
+    A record owned by a :class:`FlowRecordStore` carries a back-pointer
+    (``_store``) so :meth:`observe` can keep the store's per-switch
+    index in sync; standalone records (tests, deserialization) work
+    unchanged with no store attached.
     """
 
     flow: FlowKey
@@ -40,6 +65,9 @@ class FlowRecord:
     priority: int = 0
     first_seen: Optional[float] = None
     last_seen: Optional[float] = None
+    _store: Optional["FlowRecordStore"] = field(
+        default=None, repr=False, compare=False)
+    _seq: int = field(default=0, repr=False, compare=False)
 
     def observe(self, *, nbytes: int, t: float, priority: int,
                 switch_path: list[str],
@@ -54,9 +82,21 @@ class FlowRecord:
         self.last_seen = t
         if switch_path:
             self.switch_path = list(switch_path)
+        new_switches: list[str] = []
+        lo_moved: list[str] = []
         for sw, rng in ranges.items():
             prev = self.epoch_ranges.get(sw)
-            self.epoch_ranges[sw] = rng if prev is None else prev.union(rng)
+            if prev is None:
+                self.epoch_ranges[sw] = rng
+                new_switches.append(sw)
+                continue
+            merged = prev.union(rng)
+            if merged != prev:
+                self.epoch_ranges[sw] = merged
+                if merged.lo != prev.lo:
+                    lo_moved.append(sw)
+        if self._store is not None and (new_switches or lo_moved):
+            self._store._on_epochs_updated(self, new_switches, lo_moved)
         if observed_epoch is not None:
             self.bytes_by_epoch[observed_epoch] = (
                 self.bytes_by_epoch.get(observed_epoch, 0) + nbytes)
@@ -100,6 +140,16 @@ class FlowRecord:
         return rec
 
 
+def _record_seq(rec: "FlowRecord") -> int:
+    return rec._seq
+
+
+def _staleness(rec: FlowRecord) -> float:
+    # a record with no observation yet is the one being created right
+    # now — never the eviction victim
+    return rec.last_seen if rec.last_seen is not None else float("inf")
+
+
 class FlowRecordStore:
     """Per-host table of :class:`FlowRecord`, with optional disk spill.
 
@@ -108,6 +158,10 @@ class FlowRecordStore:
     storage"): when the bound is exceeded, the stalest records (by
     ``last_seen``) are spilled to disk (or dropped if no spill path is
     configured) until the table is back under the bound.
+
+    The per-switch inverted index (module docstring) makes
+    :meth:`flows_through` cost O(records at the switch) instead of
+    O(records on the host).
     """
 
     def __init__(self, host_name: str,
@@ -119,31 +173,89 @@ class FlowRecordStore:
         self.spill_path = Path(spill_path) if spill_path else None
         self.max_records = max_records
         self._records: dict[FlowKey, FlowRecord] = {}
+        #: switchID -> {flow -> record}: exactly the records that
+        #: traversed the switch (index invariant 1)
+        self._by_switch: dict[str, dict[FlowKey, FlowRecord]] = {}
+        #: switchID -> ([lo epochs], [(lo, seq, record)]) sorted cache
+        self._sorted: dict[str, tuple[list[int],
+                                      list[tuple[int, int, FlowRecord]]]] = {}
+        self._next_seq = 0
         self.spilled = 0
         self.evicted = 0
 
     def record_for(self, flow: FlowKey) -> FlowRecord:
         rec = self._records.get(flow)
         if rec is None:
-            rec = FlowRecord(flow=flow)
+            rec = FlowRecord(flow=flow, _store=self, _seq=self._next_seq)
+            self._next_seq += 1
             self._records[flow] = rec
             if (self.max_records is not None
                     and len(self._records) > self.max_records):
                 self._evict()
         return rec
 
-    def _evict(self) -> None:
+    def ingest(self, flow: FlowKey, *, nbytes: int, t: float,
+               priority: int, switch_path: list[str],
+               ranges: dict[str, EpochRange],
+               observed_epoch: Optional[int]) -> FlowRecord:
+        """One decoded packet → record update (decoder entry point)."""
+        rec = self.record_for(flow)
+        rec.observe(nbytes=nbytes, t=t, priority=priority,
+                    switch_path=switch_path, ranges=ranges,
+                    observed_epoch=observed_epoch)
+        return rec
+
+    # -- inverted-index maintenance ------------------------------------------
+
+    def _on_epochs_updated(self, rec: FlowRecord, new_switches: list[str],
+                           lo_moved: list[str]) -> None:
+        """Record listener: keep per-switch membership + sort fresh."""
+        for sw in new_switches:
+            self._by_switch.setdefault(sw, {})[rec.flow] = rec
+            self._sorted.pop(sw, None)
+        for sw in lo_moved:
+            self._sorted.pop(sw, None)
+
+    def _index_record(self, rec: FlowRecord) -> None:
+        """Adopt a fully-formed record (deserialized from disk)."""
+        rec._store = self
+        for sw in rec.epoch_ranges:
+            self._by_switch.setdefault(sw, {})[rec.flow] = rec
+            self._sorted.pop(sw, None)
+
+    def _unindex_record(self, rec: FlowRecord) -> None:
+        rec._store = None
+        for sw in rec.epoch_ranges:
+            bucket = self._by_switch.get(sw)
+            if bucket is not None:
+                bucket.pop(rec.flow, None)
+                if not bucket:
+                    del self._by_switch[sw]
+            self._sorted.pop(sw, None)
+
+    def _sorted_bucket(self, switch: str
+                       ) -> tuple[list[int],
+                                  list[tuple[int, int, FlowRecord]]]:
+        cached = self._sorted.get(switch)
+        if cached is None:
+            entries = sorted(
+                (rec.epoch_ranges[switch].lo, rec._seq, rec)
+                for rec in self._by_switch.get(switch, {}).values())
+            cached = ([lo for lo, _, _ in entries], entries)
+            self._sorted[switch] = cached
+        return cached
+
+    # -- eviction --------------------------------------------------------------
+
+    def _evict(self, *, spill: bool = True) -> None:
         """Spill/drop stalest records until under the memory bound."""
         assert self.max_records is not None
-        # a record with no observation yet is the one being created
-        # right now — never the eviction victim
-        by_staleness = sorted(
-            self._records.values(),
-            key=lambda r: (r.last_seen if r.last_seen is not None
-                           else float("inf")))
         excess = len(self._records) - self.max_records
-        victims = by_staleness[:excess]
-        if self.spill_path is not None:
+        if excess <= 0:
+            return
+        victims = heapq.nsmallest(excess, self._records.values(),
+                                  key=_staleness)
+        if spill and self.spill_path is not None:
             self.spill_path.parent.mkdir(parents=True, exist_ok=True)
             with self.spill_path.open("a", encoding="utf-8") as fh:
                 for rec in victims:
@@ -151,6 +263,7 @@ class FlowRecordStore:
                     self.spilled += 1
         for rec in victims:
             del self._records[rec.flow]
+            self._unindex_record(rec)
             self.evicted += 1
 
     def get(self, flow: FlowKey) -> Optional[FlowRecord]:
@@ -162,13 +275,52 @@ class FlowRecordStore:
     def __iter__(self) -> Iterator[FlowRecord]:
         return iter(self._records.values())
 
+    # -- the §3 header filter ----------------------------------------------
+
     def flows_through(self, switch: str,
                       epochs: Optional[EpochRange] = None
                       ) -> list[FlowRecord]:
         """Records whose path crossed ``switch`` (in ``epochs``, if given).
 
         This is the header-filtering primitive of §3: "filter the headers
-        for packets that match a (switchID, epochID) pair".
+        for packets that match a (switchID, epochID) pair".  Served from
+        the inverted index; results come back in record-creation order,
+        identical to a linear scan of the flat table.
+        """
+        return self.scan_through(switch, epochs)[0]
+
+    def scan_through(self, switch: str,
+                     epochs: Optional[EpochRange] = None
+                     ) -> tuple[list[FlowRecord], int]:
+        """:meth:`flows_through` plus the number of records examined.
+
+        The second element is the query-execution cost the RPC latency
+        model charges: the size of the index bucket actually inspected,
+        not the size of the whole table.
+        """
+        bucket = self._by_switch.get(switch)
+        if not bucket:
+            return [], 0
+        if epochs is None:
+            matches = sorted(bucket.values(), key=_record_seq)
+            return matches, len(matches)
+        # sorted-by-lo cache + bisect: records with lo > epochs.hi can
+        # never intersect the window and are skipped without a look
+        los, entries = self._sorted_bucket(switch)
+        cut = bisect_right(los, epochs.hi)
+        hits = [(seq, rec) for _, seq, rec in entries[:cut]
+                if rec.epoch_ranges[switch].hi >= epochs.lo]
+        hits.sort()
+        return [rec for _, rec in hits], cut
+
+    def linear_flows_through(self, switch: str,
+                             epochs: Optional[EpochRange] = None
+                             ) -> list[FlowRecord]:
+        """Reference O(N) scan of the flat table (pre-index behaviour).
+
+        Kept as the equivalence oracle for the index property tests and
+        the baseline for the query benchmarks; not used on the query
+        path.
         """
         out = []
         for rec in self._records.values():
@@ -194,14 +346,35 @@ class FlowRecordStore:
         return self.spilled
 
     @classmethod
-    def load_from_disk(cls, host_name: str,
-                       spill_path: Path) -> "FlowRecordStore":
-        store = cls(host_name, spill_path=spill_path)
+    def load_from_disk(cls, host_name: str, spill_path: Path, *,
+                       max_records: Optional[int] = None
+                       ) -> "FlowRecordStore":
+        """Rebuild a store from a spill file.
+
+        ``max_records`` carries the memory bound over to the reloaded
+        store: if the file holds more records than the bound, the
+        stalest surplus is dropped (counted in ``evicted``) — never
+        re-appended to the file being read.
+        """
+        store = cls(host_name, spill_path=spill_path,
+                    max_records=max_records)
         with Path(spill_path).open(encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
                 rec = FlowRecord.from_json(json.loads(line))
+                prev = store._records.get(rec.flow)
+                if prev is not None:
+                    # a later spill of the same flow supersedes the
+                    # earlier one, keeping its position in the table
+                    store._unindex_record(prev)
+                    rec._seq = prev._seq
+                else:
+                    rec._seq = store._next_seq
+                    store._next_seq += 1
                 store._records[rec.flow] = rec
+                store._index_record(rec)
+        if max_records is not None:
+            store._evict(spill=False)
         return store

@@ -55,3 +55,53 @@ class TestEviction:
     def test_invalid_bound(self):
         with pytest.raises(ValueError):
             FlowRecordStore("h", max_records=0)
+
+
+class TestReloadBound:
+    def test_load_honors_max_records(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        store = FlowRecordStore("h", spill_path=spill)
+        for i in range(10):
+            touch(store, i, t=i * 0.001)
+        store.flush_to_disk()
+        loaded = FlowRecordStore.load_from_disk("h", spill,
+                                                max_records=4)
+        assert len(loaded) == 4
+        assert loaded.evicted == 6
+        # the freshest records (by last_seen) survive the reload
+        assert loaded.get(key(9)) is not None
+        assert loaded.get(key(0)) is None
+
+    def test_load_does_not_grow_spill_file(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        store = FlowRecordStore("h", spill_path=spill)
+        for i in range(10):
+            touch(store, i, t=i * 0.001)
+        store.flush_to_disk()
+        before = spill.read_bytes()
+        loaded = FlowRecordStore.load_from_disk("h", spill,
+                                                max_records=2)
+        assert spill.read_bytes() == before
+        assert loaded.spilled == 0
+
+    def test_load_without_bound_keeps_everything(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        store = FlowRecordStore("h", spill_path=spill)
+        for i in range(7):
+            touch(store, i, t=i * 0.001)
+        store.flush_to_disk()
+        loaded = FlowRecordStore.load_from_disk("h", spill)
+        assert len(loaded) == 7
+
+    def test_reloaded_records_are_indexed(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        store = FlowRecordStore("h", spill_path=spill)
+        for i in range(5):
+            touch(store, i, t=i * 0.001)
+        store.flush_to_disk()
+        loaded = FlowRecordStore.load_from_disk("h", spill,
+                                                max_records=3)
+        hits = loaded.flows_through("S1", EpochRange(0, 0))
+        assert [r.flow for r in hits] == [key(2), key(3), key(4)]
+        assert hits == loaded.linear_flows_through("S1",
+                                                   EpochRange(0, 0))
