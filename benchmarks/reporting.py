@@ -3,23 +3,32 @@
 Every figure benchmark prints its reproduced rows/series (the same
 quantities the paper plots) and appends them to ``results/<name>.txt``
 so `pytest benchmarks/ --benchmark-only | tee bench_output.txt` leaves a
-persistent record either way.
+persistent record either way.  Benchmarks that pass ``data`` also
+persist a machine-readable ``results/<name>.json`` (uploaded by the CI
+benchmarks job alongside the text tables).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any, Optional
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
-def emit(name: str, lines: list[str]) -> None:
+def emit(name: str, lines: list[str], *,
+         data: Optional[dict[str, Any]] = None) -> None:
     """Print a figure's reproduced rows and persist them."""
     banner = f"==== {name} ===="
     text = "\n".join([banner, *lines, ""])
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
 
 
 def fmt_series(series: list[tuple[float, float]], *, t_scale: float = 1e3,

@@ -1,0 +1,55 @@
+"""Incast — diagnosis fidelity and latency vs fan-in degree.
+
+An N-to-1 synchronized burst collapses a victim flow at the receiver's
+leaf; the analyzer must classify the event as incast, name the
+convergence switch, and identify all N responders as culprits.  The
+diagnosis latency grows with N (more host records to consult), like
+the paper's Fig 7/8 server sweeps.
+"""
+
+import pytest
+
+from repro.scenarios import IncastScenario
+
+from benchmarks.reporting import emit
+
+FAN_IN = [4, 8, 16]
+
+
+def run_sweep():
+    rows = {}
+    for n in FAN_IN:
+        res = IncastScenario(n_senders=n, duration=0.030,
+                             burst_start=0.010).execute()
+        rows[n] = res
+    return rows
+
+
+@pytest.mark.benchmark(group="incast")
+def test_incast_diagnosis(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = ["senders  diagnosed  fan_in  diag_ms  downlink_drops"]
+    data = {}
+    for n in FAN_IN:
+        res = rows[n]
+        v = res.verdict("incast")
+        fan_in = len({c.flow for c in v.culprits
+                      if c.flow.dst == v.victim.dst}) if v else 0
+        diag_ms = v.total_time_s * 1e3 if v else float("nan")
+        drops = res.measurements["downlink_queue_drops"]
+        lines.append(f"  {n:5d}  {str(v is not None):9s}  {fan_in:6d}  "
+                     f"{diag_ms:7.1f}  {drops:6d}")
+        data[n] = {"diagnosed": v is not None, "fan_in": fan_in,
+                   "diagnosis_ms": diag_ms, "suspect": v.suspect if v
+                   else None, "downlink_queue_drops": drops}
+    lines.append("(expected: every row diagnosed as incast at leaf0, "
+                 "fan_in == senders)")
+    emit("incast", lines, data=data)
+
+    for n in FAN_IN:
+        assert data[n]["diagnosed"], f"n={n} not classified incast"
+        assert data[n]["suspect"] == "leaf0"
+        assert data[n]["fan_in"] == n
+        assert data[n]["downlink_queue_drops"] > 0
+    times = [data[n]["diagnosis_ms"] for n in FAN_IN]
+    assert times == sorted(times), "diagnosis must grow with fan-in"

@@ -1,0 +1,49 @@
+"""Link flap — localization vs churn intensity.
+
+The S1—SPA trunk flaps with increasing frequency (shorter up dwells →
+more cycles in the same run).  The analyzer must pin the flap on
+S1-SPA at every intensity, and the dataplane damage (blackhole drops,
+TCP retransmission timeouts) should grow with the churn.
+"""
+
+import pytest
+
+from repro.scenarios import LinkFlapScenario
+
+from benchmarks.reporting import emit
+
+#: (down_for, up_for) dwell pairs, most gentle first.
+DWELLS = [(0.004, 0.016), (0.006, 0.010), (0.008, 0.006)]
+
+
+def run_sweep():
+    rows = {}
+    for down_for, up_for in DWELLS:
+        rows[(down_for, up_for)] = LinkFlapScenario(
+            n_flows=8, down_for=down_for, up_for=up_for).execute()
+    return rows
+
+
+@pytest.mark.benchmark(group="link_flap")
+def test_link_flap_localization(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = ["down_ms  up_ms  flaps  suspect  down_drops  tcp_timeouts"]
+    data = {}
+    for (down_for, up_for), res in rows.items():
+        v = res.verdict("link-flap")
+        m = res.measurements
+        lines.append(f"  {down_for * 1e3:5.0f}  {up_for * 1e3:5.0f}  "
+                     f"{m['flaps']:5d}  {str(v.suspect):7s}  "
+                     f"{m['down_drops']:10d}  {m['tcp_timeouts']:12d}")
+        data[f"{down_for * 1e3:.0f}ms_down_{up_for * 1e3:.0f}ms_up"] = {
+            "flaps": m["flaps"], "suspect": v.suspect,
+            "down_drops": m["down_drops"],
+            "tcp_timeouts": m["tcp_timeouts"]}
+    lines.append("(expected: suspect S1-SPA at every churn intensity)")
+    emit("link_flap", lines, data=data)
+
+    for key, row in data.items():
+        assert row["suspect"] == "S1-SPA", key
+        assert row["down_drops"] > 0, key
+    drops = [row["down_drops"] for row in data.values()]
+    assert drops[-1] > drops[0], "more churn must strand more packets"

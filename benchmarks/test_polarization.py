@@ -1,0 +1,55 @@
+"""ECMP polarization — skew detection vs the healthy control.
+
+The same workload runs twice: once with the port-blind hash installed
+on leaf0 (every flow of the host pair lands on one spine) and once with
+the healthy 5-tuple hash (the build picks source ports that split
+4/4).  The census diagnosis must flag exactly the polarized run, and
+the path-conformance cross-check must count exactly the flows the bad
+hash moved off their healthy spine.
+"""
+
+import pytest
+
+from repro.scenarios import PolarizationScenario
+
+from benchmarks.reporting import emit
+
+N_FLOWS = 8
+
+
+def run_pair():
+    return {
+        "polarized": PolarizationScenario(n_flows=N_FLOWS).execute(),
+        "healthy": PolarizationScenario(n_flows=N_FLOWS,
+                                        polarized=False).execute(),
+    }
+
+
+@pytest.mark.benchmark(group="polarization")
+def test_polarization_detection(benchmark):
+    rows = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    lines = ["run        flagged  suspect   top_share  off_policy  "
+             "spine_bytes"]
+    data = {}
+    for tag, res in rows.items():
+        v = res.verdict("ecmp-polarization")
+        spine_bytes = res.measurements["spine_tx_bytes"]
+        total = sum(spine_bytes.values())
+        top_share = max(spine_bytes.values()) / total if total else 0.0
+        off_policy = res.measurements["off_policy_flows"]
+        lines.append(f"  {tag:9s}  {str(v.imbalanced):7s}  "
+                     f"{str(v.suspect):8s}  {top_share:9.2f}  "
+                     f"{off_policy:10d}  {spine_bytes}")
+        data[tag] = {"flagged": v.imbalanced, "suspect": v.suspect,
+                     "top_share": top_share, "off_policy": off_policy,
+                     "spine_tx_bytes": spine_bytes}
+    lines.append("(expected: polarized flagged with one idle spine; "
+                 "healthy unflagged, 0 off-policy)")
+    emit("polarization", lines, data=data)
+
+    assert data["polarized"]["flagged"]
+    assert data["polarized"]["top_share"] == 1.0
+    assert data["polarized"]["off_policy"] == N_FLOWS // 2
+    assert not data["healthy"]["flagged"]
+    assert data["healthy"]["off_policy"] == 0
+    assert data["healthy"]["top_share"] == 0.5

@@ -2,7 +2,9 @@
 
 from .analyzer import Analyzer, HostsPerSwitch
 from .apps import (Culprit, Verdict, diagnose_cascade, diagnose_contention,
-                   diagnose_load_imbalance, diagnose_red_lights)
+                   diagnose_gray_failure, diagnose_incast,
+                   diagnose_link_flap, diagnose_load_imbalance,
+                   diagnose_polarization, diagnose_red_lights)
 from .netdebug import (ConformanceReport, ConformanceViolation,
                        DropLocalization, check_path_conformance,
                        localize_packet_drops)
@@ -12,7 +14,8 @@ __all__ = [
     "Analyzer", "HostsPerSwitch",
     "Verdict", "Culprit",
     "diagnose_contention", "diagnose_red_lights", "diagnose_cascade",
-    "diagnose_load_imbalance",
+    "diagnose_load_imbalance", "diagnose_incast", "diagnose_gray_failure",
+    "diagnose_polarization", "diagnose_link_flap",
     "DropLocalization", "localize_packet_drops",
     "ConformanceReport", "ConformanceViolation",
     "check_path_conformance",

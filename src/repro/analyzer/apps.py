@@ -1,8 +1,9 @@
-"""Debugging applications (§5).
+"""Debugging applications (§5 and beyond).
 
-Four diagnoses, one per §5 subsection.  Each takes the analyzer and an
-alert (or a suspect switch for load imbalance) and returns a verdict
-with the latency breakdown the paper plots:
+Each diagnosis takes the analyzer and an alert (or a suspect switch)
+and returns a verdict with the latency breakdown the paper plots.
+
+The four §5 diagnoses, one per subsection:
 
 * :func:`diagnose_contention` — §5.1 "too much traffic": who contended
   with the victim at the alerted switch, and was it priority-based or a
@@ -15,6 +16,18 @@ with the latency breakdown the paper plots:
   culprit has middle priority, walk *its* path to find who delayed it.
 * :func:`diagnose_load_imbalance` — §5.4: flow-size distributions per
   egress interface of a suspect switch (Fig 8's diagnosis latency).
+
+Four more built on the same primitives, backing the scenario registry's
+extended fault catalogue (§2.4's "many other problems" claim):
+
+* :func:`diagnose_incast` — N-to-1 synchronized fan-in: the culprits
+  found at the alerted switch all target the victim's own destination.
+* :func:`diagnose_gray_failure` — silent packet drops, localized to the
+  faulty hop via :func:`repro.analyzer.netdebug.localize_packet_drops`.
+* :func:`diagnose_polarization` — ECMP hash polarization: the per-egress
+  flow census at a multipath switch concentrates on one egress.
+* :func:`diagnose_link_flap` — flap churn: flows behind a branch switch
+  oscillate between egresses, and one egress has no stable users.
 """
 
 from __future__ import annotations
@@ -58,6 +71,10 @@ class Verdict:
     cascade_chain: list[FlowKey] = field(default_factory=list)
     imbalanced: bool = False
     distribution: dict[str, list[int]] = field(default_factory=dict)
+    #: The network element the diagnosis points at, when there is one:
+    #: a switch (gray failure), an egress switch (polarization, incast
+    #: convergence point), or an "A-B" link (flap).
+    suspect: Optional[str] = None
 
     @property
     def total_time_s(self) -> float:
@@ -270,6 +287,286 @@ def diagnose_load_imbalance(analyzer: Analyzer, switch: str, *,
     return Verdict(problem="load-imbalance", victim=None, breakdown=bd,
                    hosts_consulted=sorted(hosts), imbalanced=imbalanced,
                    distribution=merged, narrative=narrative)
+
+
+# ---------------------------------------------------------------------------
+# incast (N-to-1 synchronized fan-in)
+# ---------------------------------------------------------------------------
+
+def diagnose_incast(analyzer: Analyzer, alert: VictimAlert, *,
+                    min_fan_in: int = 3) -> Verdict:
+    """Was the victim's collapse an N-to-1 synchronized fan-in?
+
+    Unlike :func:`diagnose_contention`, the victim's *own destination*
+    is consulted: in an incast every culprit flow terminates at the
+    victim's destination, so that host holds all of their records.  The
+    verdict is ``incast`` when, at some on-path switch, at least
+    ``min_fan_in`` epoch-sharing culprits target the victim's
+    destination; otherwise it degrades to the generic contention call.
+    """
+    bd = Breakdown()
+    bd.add("problem_detection", DETECTION_S)
+    bd.add("alert_to_analyzer", analyzer.rpc.alert_cost())
+
+    per_switch, ptr_bd = analyzer.locate_relevant_hosts(alert)
+    bd = bd.merged(ptr_bd)
+
+    culprits: list[Culprit] = []
+    consulted: set[str] = set()
+    fan_in: dict[str, int] = {}
+    diag_bd = Breakdown()
+    for entry in per_switch:
+        if not entry.hosts:
+            continue
+        consulted.update(entry.hosts)
+        found, q_bd = analyzer.contending_flows(entry.hosts, entry.switch,
+                                                entry.epochs, alert)
+        diag_bd = diag_bd.merged(q_bd)
+        for host, summary in found:
+            shared = _overlap(summary.epochs_at(entry.switch), entry.epochs)
+            if shared is None:
+                continue
+            culprits.append(Culprit(
+                flow=summary.flow, host=host, switch=entry.switch,
+                priority=summary.priority, bytes=summary.bytes,
+                shared_epochs=shared))
+            if summary.flow.dst == alert.flow.dst:
+                fan_in[entry.switch] = fan_in.get(entry.switch, 0) + 1
+    bd.add("diagnosis", diag_bd.total)
+
+    if fan_in and max(fan_in.values()) >= min_fan_in:
+        # Ties go to the latest on-path switch: the fan-in is visible at
+        # every hop the culprits share, but the convergence point is the
+        # last one before the destination.
+        suspect = max(enumerate(alert.switch_path),
+                      key=lambda iv: (fan_in.get(iv[1], 0), iv[0]))[1]
+        n = fan_in[suspect]
+        return Verdict(
+            problem="incast", victim=alert.flow, culprits=culprits,
+            breakdown=bd, hosts_consulted=sorted(consulted),
+            suspect=suspect,
+            narrative=(f"{n} synchronized flows converged on "
+                       f"{alert.flow.dst} at {suspect} "
+                       f"(N-to-1 incast fan-in)"))
+    # No fan-in: degrade to the §5.1 classification, reusing the
+    # culprits already gathered rather than re-querying the hosts.
+    victim_prio = _victim_priority(analyzer, alert)
+    priority_based = any(c.priority > victim_prio for c in culprits)
+    problem = ("priority-contention" if priority_based
+               else "microburst-contention")
+    narrative = (
+        f"no incast fan-in found; {len(culprits)} flow(s) contended "
+        f"with {alert.flow.pretty()}; "
+        + ("high-priority traffic starved the victim"
+           if priority_based else
+           "equal-priority burst overflowed the queue (microburst)"))
+    return Verdict(problem=problem, victim=alert.flow, culprits=culprits,
+                   breakdown=bd, hosts_consulted=sorted(consulted),
+                   narrative=narrative)
+
+
+# ---------------------------------------------------------------------------
+# silent packet drops / gray failure
+# ---------------------------------------------------------------------------
+
+def diagnose_gray_failure(analyzer: Analyzer, flow: FlowKey, *,
+                          silence_epochs: EpochRange,
+                          path: Optional[list[str]] = None,
+                          level: int = 1) -> Verdict:
+    """Localize a silent (gray) drop of ``flow`` to one hop.
+
+    ``silence_epochs`` is the window in which the destination stopped
+    seeing the flow.  The trajectory defaults to the flow record at the
+    destination host (captured while the flow was still healthy); the
+    per-switch pointers over the silence window then form the spatial
+    cut that :func:`~repro.analyzer.netdebug.localize_packet_drops`
+    turns into a suspect hop.
+    """
+    from .netdebug import localize_packet_drops
+
+    if path is None:
+        agent = analyzer.host_agents.get(flow.dst)
+        rec = agent.store.get(flow) if agent is not None else None
+        path = list(rec.switch_path) if rec is not None else []
+    loc = localize_packet_drops(analyzer, flow, path, silence_epochs,
+                                level=level)
+    if loc.localized:
+        here, nxt = loc.suspect_hop
+        suspect = nxt if nxt in analyzer.switch_agents else here
+        upstream = ", ".join(loc.forwarding) if loc.forwarding else "no"
+        narrative = (
+            f"packets of {flow.pretty()} vanish between {here} and {nxt}; "
+            f"pointers still name {flow.dst} at {upstream} upstream "
+            f"switch(es), never at {', '.join(loc.silent)}")
+        return Verdict(problem="gray-failure", victim=flow,
+                       breakdown=loc.breakdown, suspect=suspect,
+                       narrative=narrative)
+    return Verdict(problem="gray-failure", victim=flow,
+                   breakdown=loc.breakdown, suspect=None,
+                   narrative=(f"no spatial cut on {flow.pretty()}'s path "
+                              f"in epochs {silence_epochs.lo}-"
+                              f"{silence_epochs.hi}"))
+
+
+# ---------------------------------------------------------------------------
+# ECMP hash polarization
+# ---------------------------------------------------------------------------
+
+def diagnose_polarization(analyzer: Analyzer, switch: str, *,
+                          epochs: EpochRange,
+                          skew_threshold: float = 0.8,
+                          level: int = 1) -> Verdict:
+    """Is the multipath split at ``switch`` polarized onto one egress?
+
+    Pulls the switch's pointer, asks the implicated hosts for the
+    per-egress flow census (the same §5.4 query the load-imbalance app
+    uses), and flags polarization when the switch has ≥ 2 candidate
+    switch egresses but one of them carries ≥ ``skew_threshold`` of the
+    flows.  Unlike §5.4's size-split malfunction, the signature here is
+    *count* concentration, not size separation.
+    """
+    bd = Breakdown()
+    bd.add("pointer_retrieval", analyzer.rpc.pointer_pull_cost(1))
+    hosts = analyzer.hosts_for(switch, epochs, level=level)
+    results, q_bd = analyzer.consult_hosts(
+        hosts,
+        lambda agent: agent.query.flow_size_distribution(switch=switch,
+                                                         epochs=epochs))
+    bd.add("diagnosis", q_bd.total)
+
+    merged: dict[str, list[int]] = {}
+    for res in results.values():
+        for egress, sizes in res.payload.items():
+            merged.setdefault(egress, []).extend(sizes)
+
+    peers = _switch_neighbors(analyzer, switch)
+    counts = {e: len(sizes) for e, sizes in merged.items() if e in peers}
+    total = sum(counts.values())
+    verdict = Verdict(problem="ecmp-polarization", victim=None,
+                      breakdown=bd, hosts_consulted=sorted(hosts),
+                      distribution=merged)
+    if len(peers) < 2 or total == 0:
+        verdict.narrative = (f"{switch} has no multipath choice to "
+                             f"polarize ({len(peers)} switch egress(es))")
+        return verdict
+    top = max(counts, key=lambda e: (counts[e], e))
+    share = counts[top] / total
+    idle = sorted(peers - set(counts))
+    if share >= skew_threshold:
+        verdict.imbalanced = True
+        verdict.suspect = top
+        verdict.narrative = (
+            f"hash polarization at {switch}: {counts[top]}/{total} flows "
+            f"({share:.0%}) exit via {top}"
+            + (f"; {', '.join(idle)} idle" if idle else ""))
+    else:
+        verdict.narrative = (
+            f"no polarization at {switch}: top egress {top} carries "
+            f"{share:.0%} of {total} flows (threshold {skew_threshold:.0%})")
+    return verdict
+
+
+def _switch_neighbors(analyzer: Analyzer, switch: str) -> set[str]:
+    """Names of switches physically adjacent to ``switch``.
+
+    Deliberately ignores link liveness: the link-flap diagnosis must
+    still see an egress whose link happens to be down at diagnosis time,
+    or the flapped side could never be named.
+    """
+    net = analyzer.network
+    sw = net.switches[switch]
+    out = set()
+    for link in net.links:
+        if switch not in (link.a.name, link.b.name):
+            continue
+        peer = link.peer_of(sw).name
+        if peer in net.switches:
+            out.add(peer)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# link flap churn
+# ---------------------------------------------------------------------------
+
+def diagnose_link_flap(analyzer: Analyzer, branch_switch: str, *,
+                       epochs: Optional[EpochRange] = None,
+                       min_rerouted: int = 2,
+                       churn_threshold: float = 0.6) -> Verdict:
+    """Find a flapping egress link at a multipath branch switch.
+
+    Telemetry signature of a flap: flows through ``branch_switch``
+    accumulate epoch ranges at *both* egress switches (they were
+    rerouted at least once).  The flapping egress is dominated by such
+    churned flows — at least ``churn_threshold`` of its users also used
+    the alternative — while the healthy egress keeps a stable majority
+    of hash-assigned flows and is exonerated.  (Requiring *zero* stable
+    users would be wrong: a TCP flow that stalls through every outage
+    and retransmits after recovery never leaves the flapping side.)
+    """
+    bd = Breakdown()
+    peers = _switch_neighbors(analyzer, branch_switch)
+    if epochs is not None:
+        # the pointer names exactly the hosts holding records for the
+        # window under suspicion — consult only those
+        bd.add("pointer_retrieval", analyzer.rpc.pointer_pull_cost(1))
+        hosts = analyzer.hosts_for(branch_switch, epochs)
+    else:
+        hosts = sorted(analyzer.host_agents)   # full sweep, no pointer
+    results, q_bd = analyzer.consult_hosts(
+        hosts,
+        lambda agent: agent.query.flows_matching(branch_switch, epochs))
+    bd.add("diagnosis", q_bd.total)
+
+    users: dict[str, int] = {e: 0 for e in peers}
+    churned: dict[str, int] = {e: 0 for e in peers}
+    rerouted: list[FlowKey] = []
+    consulted = sorted(results)
+    for host, res in results.items():
+        for summary in res.payload:
+            used = set()
+            for e in peers:
+                rng = summary.epochs_at(e)
+                if rng is None:
+                    continue
+                # churn evidence must come from inside the window —
+                # a detour during some *earlier* outage is not proof
+                # the link flapped now
+                if epochs is not None and not rng.intersects(epochs):
+                    continue
+                used.add(e)
+            for e in used:
+                users[e] += 1
+                if len(used) >= 2:
+                    churned[e] += 1
+            if len(used) >= 2:
+                rerouted.append(summary.flow)
+
+    verdict = Verdict(problem="link-flap", victim=None, breakdown=bd,
+                      hosts_consulted=consulted)
+    if len(rerouted) < min_rerouted:
+        verdict.narrative = (
+            f"{len(rerouted)} flow(s) changed egress at {branch_switch} "
+            f"(need {min_rerouted}); no flap inferred")
+        return verdict
+    fractions = {e: churned[e] / users[e] for e in peers if users[e]}
+    candidates = [e for e, f in fractions.items()
+                  if f >= churn_threshold]
+    if len(candidates) != 1:
+        who = (f"{len(candidates)} egresses exceed the churn threshold"
+               if candidates else "no egress exceeds the churn threshold")
+        verdict.narrative = (
+            f"{len(rerouted)} flows oscillated at {branch_switch} but "
+            f"{who}; flap not localized")
+        return verdict
+    flapped = candidates[0]
+    verdict.suspect = f"{branch_switch}-{flapped}"
+    others = ", ".join(sorted(e for e in peers if e != flapped))
+    verdict.narrative = (
+        f"link {branch_switch}-{flapped} flapped: {churned[flapped]} of "
+        f"{users[flapped]} flows on it also detoured via {others}; "
+        f"{len(rerouted)} flow(s) rerouted in total")
+    return verdict
 
 
 def _separation_verdict(dist: dict[str, list[int]],

@@ -1,11 +1,18 @@
-"""Command-line interface: run paper experiments from the shell.
+"""Command-line interface: run scenarios and experiments from the shell.
 
 Usage::
 
-    python -m repro.cli list
-    python -m repro.cli fig2a            # any figure id from `list`
-    python -m repro.cli fig8 --servers 4 8 16
+    python -m repro.cli list                     # every registered scenario
+    python -m repro.cli run incast               # any name or alias
+    python -m repro.cli run gray-failure --knob fault_switch=S2
+    python -m repro.cli run fig3                 # fig ids are aliases
     python -m repro.cli sizing --hosts 100000 --alpha 10 --k 3
+
+``list`` and ``run`` are driven entirely by the scenario registry
+(:mod:`repro.scenarios`): registering a new scenario class makes it
+appear here with no CLI edits.  The historical figure ids (``fig2a``,
+``fig3``, ...) remain available both as registry aliases to ``run`` and
+as standalone subcommands that print the original sweep tables.
 
 The heavy lifting lives in :mod:`repro.scenarios` and
 :mod:`repro.core.sizing`; this module only parses arguments and prints.
@@ -21,26 +28,82 @@ from .analyzer.apps import (diagnose_contention, diagnose_load_imbalance,
 from .core.epoch import EpochRange
 from .core.sizing import (push_bandwidth_bps, recycling_period_ms,
                           total_switch_memory_bytes)
-from .scenarios import (run_cascades_scenario, run_contention_scenario,
+from .scenarios import (REGISTRY, ScenarioError, run_cascades_scenario,
+                        run_contention_scenario,
                         run_load_imbalance_scenario,
-                        run_red_lights_scenario)
+                        run_red_lights_scenario, run_scenario)
+from .simnet.engine import SimulationError
 
-FIGURES = {
+#: Non-scenario commands (the resource-arithmetic calculator).
+SIZING_DESC = "Fig 10/11 resource arithmetic for one (n, alpha, k)"
+
+#: Legacy sweep subcommands, kept for scripts that predate the registry.
+LEGACY_FIGURES = {
     "fig2a": "priority-based flow contention (victim starvation sweep)",
     "fig2b": "microburst-based flow contention (FIFO sweep)",
     "fig3": "too many red lights (per-switch victim throughput)",
     "fig4": "traffic cascades (with vs without)",
     "fig7": "debugging-time breakdown for priority contention",
     "fig8": "load-imbalance diagnosis latency sweep",
-    "sizing": "Fig 10/11 resource arithmetic for one (n, alpha, k)",
 }
 
 
+# ---------------------------------------------------------------------------
+# registry-driven commands
+# ---------------------------------------------------------------------------
+
 def cmd_list(_args) -> int:
-    for name, desc in FIGURES.items():
-        print(f"  {name:8s} {desc}")
+    print("scenarios (python -m repro.cli run <name>):")
+    for spec in REGISTRY.specs():
+        aliases = f" [{','.join(spec.aliases)}]" if spec.aliases else ""
+        print(f"  {spec.name:15s}{aliases:15s} {spec.summary}")
+    print("other commands:")
+    print(f"  {'sizing':30s} {SIZING_DESC}")
     return 0
 
+
+def _coerce(text: str):
+    """Best-effort knob value parsing: bool, int, float, then str."""
+    low = text.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_knobs(pairs: list[str]) -> dict:
+    knobs = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --knob expects key=value, got {pair!r}")
+        knobs[key] = _coerce(value)
+    return knobs
+
+
+def cmd_run(args) -> int:
+    try:
+        result = run_scenario(args.scenario,
+                              **_parse_knobs(args.knob))
+    except (ScenarioError, ValueError, TypeError, KeyError,
+            SimulationError) as exc:
+        # registry misses and invalid knob names/values/types land here —
+        # a clean message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in result.summary_lines():
+        print(line)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# legacy figure sweeps
+# ---------------------------------------------------------------------------
 
 def cmd_fig2(args, discipline: str) -> int:
     print(f"m_flows  starvation_ms  max_gap_ms  timeouts")
@@ -122,17 +185,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="SwitchPointer reproduction — experiment runner")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list registered scenarios")
+    pr = sub.add_parser("run", help="run one scenario through "
+                                    "build/run/collect/diagnose")
+    pr.add_argument("scenario",
+                    help="registry name or alias (see `list`)")
+    pr.add_argument("--knob", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="override a scenario knob (repeatable)")
+
     for fig in ("fig2a", "fig2b", "fig7"):
-        p = sub.add_parser(fig, help=FIGURES[fig])
+        p = sub.add_parser(fig, help=LEGACY_FIGURES[fig])
         p.add_argument("--flows", type=int, nargs="+",
                        default=[1, 2, 4, 8, 16])
-    sub.add_parser("fig3", help=FIGURES["fig3"])
-    sub.add_parser("fig4", help=FIGURES["fig4"])
-    p8 = sub.add_parser("fig8", help=FIGURES["fig8"])
+    sub.add_parser("fig3", help=LEGACY_FIGURES["fig3"])
+    sub.add_parser("fig4", help=LEGACY_FIGURES["fig4"])
+    p8 = sub.add_parser("fig8", help=LEGACY_FIGURES["fig8"])
     p8.add_argument("--servers", type=int, nargs="+",
                     default=[4, 8, 16, 32, 64, 96])
-    ps = sub.add_parser("sizing", help=FIGURES["sizing"])
+    ps = sub.add_parser("sizing", help=SIZING_DESC)
     ps.add_argument("--hosts", type=int, default=100_000)
     ps.add_argument("--alpha", type=int, default=10)
     ps.add_argument("--k", type=int, default=3)
@@ -143,6 +214,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     dispatch = {
         "list": cmd_list,
+        "run": cmd_run,
         "fig2a": lambda a: cmd_fig2(a, "priority"),
         "fig2b": lambda a: cmd_fig2(a, "fifo"),
         "fig3": cmd_fig3,

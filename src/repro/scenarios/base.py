@@ -1,0 +1,300 @@
+"""Scenario subsystem: protocol, result base, and registry.
+
+A *scenario* is one reproducible failure experiment: it **builds** a
+topology and deploys SwitchPointer on it, **runs** a workload with a
+fault injected, **collects** measurements, and **diagnoses** the fault
+through the analyzer.  Every scenario — paper figure or extended fault —
+implements that four-phase protocol by subclassing :class:`Scenario`
+and registering itself with the :data:`REGISTRY` decorator:
+
+    @register
+    class IncastScenario(Scenario):
+        spec = ScenarioSpec(name="incast", ...)
+        def build(self): ...
+        def run(self): ...
+        def collect(self): ...
+        def diagnose(self): ...
+
+Registration is all it takes for the scenario to appear in
+``python -m repro.cli list``, be runnable via ``repro.cli run <name>``,
+and show up in the generated ``docs/SCENARIOS.md`` catalogue — the CLI
+and the docs render the same :class:`ScenarioSpec` metadata.
+
+:meth:`Scenario.execute` is the shared driver: it walks the phases,
+wall-clock-times each one, snapshots per-switch dataplane counters, and
+returns a :class:`ScenarioResult` carrying the measurements and the
+analyzer verdicts.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Iterator, Optional
+
+from ..analyzer.apps import Verdict
+from ..deployment import SwitchPointerDeployment
+from ..simnet.topology import Network
+
+
+class ScenarioError(Exception):
+    """Raised for registry misuse or invalid scenario parameters."""
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable parameter of a scenario."""
+
+    default: Any
+    help: str
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Registry metadata for one scenario.
+
+    This is the single source of truth the CLI ``list`` output and the
+    ``docs/SCENARIOS.md`` catalogue are both rendered from.
+
+    Attributes
+    ----------
+    name:
+        Registry key, kebab-case, unique.
+    summary:
+        One-line description (CLI ``list``).
+    paper_ref:
+        The paper figure/section reproduced, or the fault modelled.
+    expected_diagnosis:
+        The ``Verdict.problem`` (and suspect, where applicable) a
+        correct run must reach.
+    knobs:
+        Tunable parameters with defaults and help strings.
+    aliases:
+        Alternate registry keys (the historical ``fig*`` ids).
+    smoke_knobs:
+        Knob overrides for a fast round-trip (tests, CI smoke).
+    """
+
+    name: str
+    summary: str
+    paper_ref: str
+    expected_diagnosis: str
+    knobs: dict[str, Knob] = field(default_factory=dict)
+    aliases: tuple[str, ...] = ()
+    smoke_knobs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cli_example(self) -> str:
+        return f"python -m repro.cli run {self.name}"
+
+
+@dataclass
+class SwitchStats:
+    """Per-switch dataplane counters snapshotted after a run."""
+
+    rx_packets: int = 0
+    forwarded: int = 0
+    no_route_drops: int = 0
+    gray_drops: int = 0
+    link_down_drops: int = 0
+
+
+@dataclass
+class ScenarioResult:
+    """What :meth:`Scenario.execute` returns, for every scenario.
+
+    ``measurements`` holds the scenario-specific series/numbers from the
+    collect phase; ``payload`` the scenario's legacy result object where
+    one exists (the ``fig*`` dataclasses examples and benchmarks use).
+    """
+
+    name: str
+    knobs: dict[str, Any]
+    timings: dict[str, float] = field(default_factory=dict)  # phase -> s
+    sim_time: float = 0.0                # simulated seconds consumed
+    switch_stats: dict[str, SwitchStats] = field(default_factory=dict)
+    verdicts: list[Verdict] = field(default_factory=list)
+    measurements: dict[str, Any] = field(default_factory=dict)
+    payload: Any = None
+    network: Optional[Network] = None
+    deployment: Optional[SwitchPointerDeployment] = None
+
+    def verdict(self, problem: str) -> Optional[Verdict]:
+        """The first verdict whose ``problem`` matches, if any."""
+        for v in self.verdicts:
+            if v.problem == problem:
+                return v
+        return None
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report (the CLI ``run`` output body)."""
+        out = [f"scenario: {self.name}"]
+        if self.knobs:
+            knobs = ", ".join(f"{k}={v}" for k, v in sorted(self.knobs.items()))
+            out.append(f"knobs: {knobs}")
+        phases = "  ".join(f"{p}={s * 1e3:.0f}ms"
+                           for p, s in self.timings.items())
+        out.append(f"wall clock: {phases}")
+        out.append(f"simulated time: {self.sim_time * 1e3:.1f} ms")
+        for key, value in sorted(self.measurements.items()):
+            out.append(f"{key}: {value}")
+        drops = {sw: st for sw, st in self.switch_stats.items()
+                 if st.gray_drops or st.no_route_drops or st.link_down_drops}
+        for sw, st in sorted(drops.items()):
+            out.append(f"drops at {sw}: gray={st.gray_drops} "
+                       f"no_route={st.no_route_drops} "
+                       f"link_down={st.link_down_drops}")
+        for v in self.verdicts:
+            suspect = f" [suspect: {v.suspect}]" if v.suspect else ""
+            out.append(f"diagnosis ({v.problem}){suspect}: {v.narrative}")
+        if not self.verdicts:
+            out.append("diagnosis: (none — no verdict produced)")
+        return out
+
+
+class Scenario(abc.ABC):
+    """Base class all scenarios implement (build → run → collect → diagnose).
+
+    Subclasses set ``spec`` (a :class:`ScenarioSpec`) and the four phase
+    methods.  ``build`` must assign ``self.network`` and
+    ``self.deployment``; the other phases may stash whatever state they
+    need on ``self``.  Knob values arrive as constructor kwargs and are
+    validated against ``spec.knobs``; resolved values live in ``self.p``.
+    """
+
+    spec: ClassVar[ScenarioSpec]
+
+    def __init__(self, **knobs: Any):
+        unknown = set(knobs) - set(self.spec.knobs)
+        if unknown:
+            raise ScenarioError(
+                f"unknown knob(s) for {self.spec.name!r}: "
+                f"{sorted(unknown)}; valid: {sorted(self.spec.knobs)}")
+        self.p: dict[str, Any] = {
+            name: knobs.get(name, knob.default)
+            for name, knob in self.spec.knobs.items()}
+        self.network: Optional[Network] = None
+        self.deployment: Optional[SwitchPointerDeployment] = None
+
+    # -- the four phases -----------------------------------------------------
+
+    @abc.abstractmethod
+    def build(self) -> None:
+        """Construct topology + deployment + workload (no sim time passes)."""
+
+    @abc.abstractmethod
+    def run(self) -> None:
+        """Advance the simulator through the experiment."""
+
+    @abc.abstractmethod
+    def collect(self) -> dict[str, Any]:
+        """Gather scenario-specific measurements from the finished run."""
+
+    @abc.abstractmethod
+    def diagnose(self) -> list[Verdict]:
+        """Run the analyzer app(s) and return their verdicts."""
+
+    # -- driver --------------------------------------------------------------
+
+    def execute(self, *, with_diagnosis: bool = True) -> ScenarioResult:
+        """Walk the phases, timing each, and assemble the result."""
+        timings: dict[str, float] = {}
+
+        def timed(phase: str, fn):
+            t0 = time.perf_counter()
+            out = fn()
+            timings[phase] = time.perf_counter() - t0
+            return out
+
+        timed("build", self.build)
+        if self.network is None or self.deployment is None:
+            raise ScenarioError(
+                f"{type(self).__name__}.build() must set "
+                f"self.network and self.deployment")
+        timed("run", self.run)
+        measurements = timed("collect", self.collect) or {}
+        verdicts: list[Verdict] = []
+        if with_diagnosis:
+            verdicts = timed("diagnose", self.diagnose) or []
+        return ScenarioResult(
+            name=self.spec.name, knobs=dict(self.p), timings=timings,
+            sim_time=self.network.sim.now,
+            switch_stats=self._switch_stats(),
+            verdicts=verdicts, measurements=measurements,
+            payload=getattr(self, "payload", None),
+            network=self.network, deployment=self.deployment)
+
+    def _switch_stats(self) -> dict[str, SwitchStats]:
+        stats = {}
+        for name, sw in self.network.switches.items():
+            link_down = sum(iface.dropped_link_down
+                            for iface in sw.interfaces)
+            stats[name] = SwitchStats(
+                rx_packets=sw.rx_packets, forwarded=sw.forwarded,
+                no_route_drops=sw.no_route_drops,
+                gray_drops=sw.gray_drops, link_down_drops=link_down)
+        return stats
+
+
+class ScenarioRegistry:
+    """Name → scenario-class registry with alias support."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type[Scenario]] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(self, cls: type[Scenario]) -> type[Scenario]:
+        """Class decorator: add ``cls`` under its spec name and aliases."""
+        spec = getattr(cls, "spec", None)
+        if not isinstance(spec, ScenarioSpec):
+            raise ScenarioError(
+                f"{cls.__name__} must define a ScenarioSpec 'spec'")
+        for key in (spec.name, *spec.aliases):
+            if key in self._classes or key in self._aliases:
+                raise ScenarioError(
+                    f"duplicate scenario name/alias {key!r}")
+        self._classes[spec.name] = cls
+        for alias in spec.aliases:
+            self._aliases[alias] = spec.name
+        return cls
+
+    def get(self, name: str) -> type[Scenario]:
+        """Resolve a name or alias to its scenario class."""
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._classes[canonical]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown scenario {name!r}; known: "
+                f"{', '.join(self.names())}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def specs(self) -> list[ScenarioSpec]:
+        return [self._classes[n].spec for n in self.names()]
+
+    def aliases_of(self, name: str) -> tuple[str, ...]:
+        return self._classes[name].spec.aliases
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes or name in self._aliases
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+#: The process-wide registry every scenario module registers into.
+REGISTRY = ScenarioRegistry()
+register = REGISTRY.register
+
+
+def run_scenario(name: str, *, with_diagnosis: bool = True,
+                 **knobs: Any) -> ScenarioResult:
+    """Look up ``name`` (or alias) in the registry and execute it."""
+    cls = REGISTRY.get(name)
+    return cls(**knobs).execute(with_diagnosis=with_diagnosis)

@@ -1,0 +1,48 @@
+"""Constants, queue factories, and topology helpers shared by the
+scenario modules."""
+
+from __future__ import annotations
+
+from ..simnet.queues import DropTailFIFO, StrictPriorityQueue
+from ..simnet.topology import Network
+
+#: Pica8-class deep shared buffer (the paper's testbed switch family has
+#: multi-MB packet memory; a shallow buffer would clip the starvation
+#: episodes that Fig 2 shows at m = 8, 16).
+DEEP_BUFFER_BYTES = 4 * 1024 * 1024
+GBPS = 1e9
+
+
+def priority_queue() -> StrictPriorityQueue:
+    return StrictPriorityQueue(levels=3, capacity_bytes=DEEP_BUFFER_BYTES)
+
+
+def fifo_queue() -> DropTailFIFO:
+    return DropTailFIFO(capacity_bytes=DEEP_BUFFER_BYTES)
+
+
+def build_diamond(n_pairs: int, *, trunk_bps: float,
+                  host_bps: float) -> Network:
+    """S1—{SPA,SPB}—S2 with ``n_pairs`` tx/rx host pairs.
+
+    The two-spine diamond shared by the load-imbalance and link-flap
+    scenarios; only the link rates differ between them.  ECMP candidate
+    order at S1/S2 follows link creation order: SPA first, then SPB.
+    """
+    net = Network()
+    s1 = net.add_switch("S1")
+    spine_a = net.add_switch("SPA")
+    spine_b = net.add_switch("SPB")
+    s2 = net.add_switch("S2")
+    for spine in (spine_a, spine_b):
+        net.connect(s1, spine, rate_bps=trunk_bps,
+                    queue_factory=fifo_queue)
+        net.connect(spine, s2, rate_bps=trunk_bps,
+                    queue_factory=fifo_queue)
+    for i in range(n_pairs):
+        tx = net.add_host(f"tx{i}")
+        rx = net.add_host(f"rx{i}")
+        net.connect(tx, s1, rate_bps=host_bps, queue_factory=fifo_queue)
+        net.connect(rx, s2, rate_bps=host_bps, queue_factory=fifo_queue)
+    net.compute_routes()
+    return net

@@ -1,0 +1,135 @@
+"""Silent packet drop / gray failure: a switch blackholes some flows.
+
+A gray-failing switch keeps its links up and its counters plausible but
+silently discards a deterministic slice of the flows crossing it (a
+corrupted TCAM entry, a failing ASIC lane).  Nothing alarms on the
+switch itself — the paper's directory service localizes the fault from
+the *outside*: upstream pointers keep naming the victim's destination
+during the silence window, the faulty hop and everything past it never
+do, and the boundary of that spatial cut is the suspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analyzer.apps import Verdict, diagnose_gray_failure
+from ..core.epoch import EpochRange
+from ..deployment import SwitchPointerDeployment
+from ..simnet.packet import PRIO_LOW, FlowKey
+from ..simnet.topology import Network, build_linear
+from ..simnet.traffic import UdpCbrSource, UdpSink
+from .base import Knob, Scenario, ScenarioSpec, register
+
+
+@dataclass
+class GrayFailureResult:
+    """Output of one gray-failure run."""
+
+    deployment: SwitchPointerDeployment
+    network: Network
+    fault_switch: str
+    fault_time: float
+    silence_epochs: EpochRange
+    affected: list[FlowKey] = field(default_factory=list)
+    healthy: list[FlowKey] = field(default_factory=list)
+    gray_drops: int = 0
+
+
+@register
+class GrayFailureScenario(Scenario):
+    """Every other flow on a 4-switch chain vanishes at ``fault_switch``.
+
+    ``n_flows`` slow CBR flows run h1_i→h4_i across S1–S4.  At
+    ``fault_time`` the fault switch starts silently dropping the
+    even-indexed flows (the deterministic slice) while forwarding the
+    rest untouched — the defining gray-failure asymmetry.  Diagnosis
+    pulls per-epoch pointers along the recorded path for the silence
+    window and finds the spatial cut.
+    """
+
+    spec = ScenarioSpec(
+        name="gray-failure",
+        summary="a switch silently drops a deterministic slice of flows "
+                "(blackhole localization)",
+        paper_ref="§2.4 extended use case; PathDump's blackhole "
+                  "use-case catalogue",
+        expected_diagnosis="gray-failure (suspect: the injected switch)",
+        knobs={
+            "n_flows": Knob(4, "concurrent h1_i→h4_i flows (even-indexed "
+                               "ones are dropped)"),
+            "fault_switch": Knob("S3", "the gray-failing switch"),
+            "fault_time": Knob(0.020, "when the silent drops begin (s)"),
+            "duration": Knob(0.050, "total run time (s)"),
+            "rate_mbps": Knob(2.0, "per-flow CBR rate (Mbit/s)"),
+            "alpha_ms": Knob(10, "epoch duration α (ms)"),
+            "k": Knob(2, "pointer hierarchy depth"),
+        },
+        aliases=("silent-drop",),
+        smoke_knobs={"n_flows": 2, "duration": 0.040},
+    )
+
+    def build(self) -> None:
+        p = self.p
+        n = p["n_flows"]
+        net = build_linear(4, hosts_per_switch=n)
+        if p["fault_switch"] not in net.switches:
+            raise ValueError(
+                f"fault_switch must be one of "
+                f"{sorted(net.switches)}, got {p['fault_switch']!r}")
+        deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
+                                         k=p["k"], epsilon_ms=1,
+                                         delta_ms=2)
+        self.network, self.deployment = net, deploy
+
+        self.affected: list[FlowKey] = []
+        self.healthy: list[FlowKey] = []
+        rate = p["rate_mbps"] * 1e6
+        for i in range(n):
+            UdpSink(net.hosts[f"h4_{i}"], 9000 + i)
+            src = UdpCbrSource(net.sim, net.hosts[f"h1_{i}"], f"h4_{i}",
+                               sport=9000 + i, dport=9000 + i,
+                               rate_bps=rate, packet_size=500,
+                               priority=PRIO_LOW, start=0.001,
+                               duration=p["duration"] - 0.002)
+            (self.affected if i % 2 == 0 else self.healthy).append(src.flow)
+
+        dropped = frozenset(self.affected)
+        sw = net.switches[p["fault_switch"]]
+
+        def inject():
+            sw.drop_filter = lambda pkt: pkt.flow in dropped
+
+        net.sim.schedule_at(p["fault_time"], inject)
+
+    def run(self) -> None:
+        self.network.run(until=self.p["duration"])
+
+    def collect(self) -> dict:
+        p = self.p
+        net, deploy = self.network, self.deployment
+        clock = deploy.datapaths["S1"].clock
+        alpha_s = p["alpha_ms"] / 1e3
+        fault_epoch = clock.epoch_of(p["fault_time"])
+        if p["fault_time"] > fault_epoch * alpha_s:
+            fault_epoch += 1       # fault mid-epoch: that epoch is mixed
+        self.silence_epochs = EpochRange(fault_epoch,
+                                         clock.epoch_of(net.sim.now))
+        self.payload = GrayFailureResult(
+            deployment=deploy, network=net,
+            fault_switch=p["fault_switch"], fault_time=p["fault_time"],
+            silence_epochs=self.silence_epochs,
+            affected=list(self.affected), healthy=list(self.healthy),
+            gray_drops=net.switches[p["fault_switch"]].gray_drops)
+        return {
+            "gray_drops": self.payload.gray_drops,
+            "silence_epochs": (self.silence_epochs.lo,
+                               self.silence_epochs.hi),
+            "affected_flows": len(self.affected),
+        }
+
+    def diagnose(self) -> list[Verdict]:
+        analyzer = self.deployment.analyzer
+        return [diagnose_gray_failure(analyzer, flow,
+                                      silence_epochs=self.silence_epochs)
+                for flow in self.affected]

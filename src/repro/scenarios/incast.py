@@ -1,0 +1,137 @@
+"""Incast microburst: N synchronized senders converge on one receiver.
+
+The classic datacenter fan-in collapse (the workload Laminar-style TCP
+studies target): a barrier-synchronized group of senders all answer one
+aggregator at the same instant, overflowing the shallow buffer on the
+receiver's last-hop downlink.  A long-lived victim flow to the same
+receiver collapses with it; the analyzer classifies the event as incast
+because every epoch-sharing culprit at the convergence switch targets
+the victim's own destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analyzer.apps import Verdict, diagnose_incast
+from ..deployment import SwitchPointerDeployment
+from ..hostd.triggers import VictimAlert
+from ..simnet.packet import PRIO_LOW, FlowKey
+from ..simnet.stats import ThroughputProbe
+from ..simnet.topology import Network, build_leaf_spine
+from ..simnet.traffic import TcpTimedFlow, UdpCbrSource, UdpSink
+from .base import Knob, Scenario, ScenarioSpec, register
+from .common import GBPS
+
+
+@dataclass
+class IncastResult:
+    """Output of one incast run."""
+
+    n_senders: int
+    deployment: SwitchPointerDeployment
+    network: Network
+    victim: FlowKey
+    throughput: ThroughputProbe
+    burst_start: float
+    burst_duration: float
+    receiver: str
+    convergence_switch: str
+    alerts: list[VictimAlert] = field(default_factory=list)
+    tcp_timeouts: int = 0
+    downlink_queue_drops: int = 0
+
+
+@register
+class IncastScenario(Scenario):
+    """N-to-1 synchronized senders on a leaf-spine fabric.
+
+    The receiver ``h0_0`` sits behind ``leaf0`` with default shallow
+    (256 KB) FIFO port buffers; the victim TCP flow and all ``n_senders``
+    burst flows originate behind ``leaf1``.  At ``burst_start`` every
+    sender transmits at line rate simultaneously — the leaf0→h0_0
+    downlink queue overflows and the victim collapses.
+    """
+
+    spec = ScenarioSpec(
+        name="incast",
+        summary="N-to-1 synchronized senders overflow the receiver's "
+                "last-hop buffer",
+        paper_ref="§2.4 extended use case; incast fan-in collapse "
+                  "(PAPERS.md: datacenter TCP incast studies)",
+        expected_diagnosis="incast (suspect: the receiver's leaf)",
+        knobs={
+            "n_senders": Knob(8, "synchronized burst senders"),
+            "duration": Knob(0.040, "victim TCP flow duration (s)"),
+            "burst_start": Knob(0.015, "synchronized burst onset (s)"),
+            "burst_duration": Knob(0.002, "burst length (s)"),
+            "min_fan_in": Knob(3, "culprits needed to call it incast"),
+            "alpha_ms": Knob(10, "epoch duration α (ms)"),
+            "k": Knob(3, "pointer hierarchy depth"),
+        },
+        smoke_knobs={"n_senders": 4, "duration": 0.025,
+                     "burst_start": 0.008},
+    )
+
+    def build(self) -> None:
+        p = self.p
+        n = p["n_senders"]
+        # default (shallow, 256 KB) FIFO queues: incast needs buffer
+        # overflow at the downlink, not priority starvation
+        net = build_leaf_spine(n_leaves=2, n_spines=2,
+                               hosts_per_leaf=n + 1, rate_bps=GBPS)
+        deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
+                                         k=p["k"])
+        self.network, self.deployment = net, deploy
+        self.receiver = "h0_0"
+        self.convergence_switch = "leaf0"
+
+        self.tput = ThroughputProbe(window=0.001)
+        self.victim_app = TcpTimedFlow(
+            net.sim, net.hosts["h1_0"], net.hosts[self.receiver],
+            duration=p["duration"], sport=100, dport=200,
+            priority=PRIO_LOW, on_payload=self.tput.on_packet)
+        self.victim = self.victim_app.sender.flow
+        self.trigger = deploy.watch_flow(self.victim)
+
+        # the synchronized responders: h1_1..h1_n all answer h0_0 at once
+        for j in range(1, n + 1):
+            UdpSink(net.hosts[self.receiver], 7000 + j)
+            UdpCbrSource(net.sim, net.hosts[f"h1_{j}"], self.receiver,
+                         sport=7000 + j, dport=7000 + j, rate_bps=GBPS,
+                         priority=PRIO_LOW, start=p["burst_start"],
+                         duration=p["burst_duration"])
+
+    def run(self) -> None:
+        self.network.run(until=self.p["duration"] + 0.020)
+        self.trigger.stop()
+
+    def collect(self) -> dict:
+        p = self.p
+        net = self.network
+        leaf0 = net.switches["leaf0"]
+        downlink = net.link_between("leaf0", self.receiver).iface_of(leaf0)
+        self.payload = IncastResult(
+            n_senders=p["n_senders"], deployment=self.deployment,
+            network=net, victim=self.victim, throughput=self.tput,
+            burst_start=p["burst_start"],
+            burst_duration=p["burst_duration"],
+            receiver=self.receiver,
+            convergence_switch=self.convergence_switch,
+            alerts=list(self.deployment.alerts()),
+            tcp_timeouts=self.victim_app.sender.timeouts,
+            downlink_queue_drops=downlink.queue.stats.dropped)
+        return {
+            "alerts": len(self.payload.alerts),
+            "tcp_timeouts": self.payload.tcp_timeouts,
+            "downlink_queue_drops": self.payload.downlink_queue_drops,
+            "victim_rate_at_burst_gbps": round(
+                self.tput.rate_at(p["burst_start"] + 0.0005), 3),
+        }
+
+    def diagnose(self) -> list[Verdict]:
+        alerts = self.deployment.alerts()
+        if not alerts:
+            return []
+        return [diagnose_incast(self.deployment.analyzer, alerts[0],
+                                min_fan_in=self.p["min_fan_in"])]

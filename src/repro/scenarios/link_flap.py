@@ -1,0 +1,161 @@
+"""Link flap churn: a trunk link oscillates down/up, driving reroutes.
+
+A flapping transceiver takes one of the two S1→S2 trunks down every few
+milliseconds and brings it back shortly after.  Each transition strands
+in-flight traffic for the control-plane reconvergence window (packets
+sent into the dead link are lost), then reroutes the link's flows onto
+the surviving spine — and back again on recovery.  TCP flows pinned to
+the flapping side see repeated losses and retransmission timeouts.
+
+Host telemetry exposes the churn without touching the switches: flows
+hashed to the flapping spine accumulate epoch ranges at *both* spines
+(they were rerouted at least once), while the healthy spine keeps its
+stable hash-assigned users.  The egress with zero stable users is the
+flapping one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analyzer.apps import Verdict, diagnose_link_flap
+from ..core.epoch import EpochRange
+from ..deployment import SwitchPointerDeployment
+from ..simnet.device import _flow_hash
+from ..simnet.packet import PRIO_LOW, PROTO_TCP, PROTO_UDP, FlowKey
+from ..simnet.topology import LinkFlapper, Network
+from ..simnet.traffic import TcpTimedFlow, UdpCbrSource, UdpSink
+from .base import Knob, Scenario, ScenarioSpec, register
+from .common import GBPS, build_diamond
+
+
+@dataclass
+class LinkFlapResult:
+    """Output of one link-flap run."""
+
+    deployment: SwitchPointerDeployment
+    network: Network
+    flapped_link: tuple[str, str]
+    flaps: int
+    down_drops: int
+    tcp_timeouts: int
+    #: flows hashed to the flapping spine (ground truth: these reroute)
+    flapping_side_flows: list[FlowKey] = field(default_factory=list)
+    stable_side_flows: list[FlowKey] = field(default_factory=list)
+
+
+@register
+class LinkFlapScenario(Scenario):
+    """Periodic down/up churn on the S1—SPA trunk of a diamond.
+
+    ``n_flows`` long-lived CBR flows cross the diamond, half hashed to
+    each spine (source ports are chosen to pin the split).  A
+    :class:`~repro.simnet.topology.LinkFlapper` cycles the S1—SPA link;
+    routing reconverges ``reconverge_delay`` seconds after each
+    transition, so every flap blackholes the SPA-side flows briefly
+    before rerouting them onto SPB.
+    """
+
+    spec = ScenarioSpec(
+        name="link-flap",
+        summary="a flapping trunk periodically reroutes its flows and "
+                "strands packets in the blackhole window",
+        paper_ref="§2.4 extended use case; flap-induced reroute churn "
+                  "and cascaded retransmits",
+        expected_diagnosis="link-flap (suspect: S1-SPA)",
+        knobs={
+            "n_flows": Knob(8, "long-lived UDP flows (half per spine)"),
+            "duration": Knob(0.060, "total run time (s)"),
+            "first_down": Knob(0.012, "first down transition (s)"),
+            "down_for": Knob(0.006, "down dwell per flap (s)"),
+            "up_for": Knob(0.010, "up dwell per flap (s)"),
+            "reconverge_delay": Knob(0.002, "routing convergence lag "
+                                            "after each transition (s)"),
+            "rate_mbps": Knob(20.0, "per-UDP-flow CBR rate (Mbit/s)"),
+            "with_tcp": Knob(True, "add an SPA-pinned TCP flow to "
+                                   "observe retransmit cascades"),
+            "alpha_ms": Knob(10, "epoch duration α (ms)"),
+            "k": Knob(3, "pointer hierarchy depth"),
+        },
+        smoke_knobs={"n_flows": 4, "duration": 0.045},
+    )
+
+    def build(self) -> None:
+        p = self.p
+        n = p["n_flows"]
+        net = build_diamond(n + 1, trunk_bps=10 * GBPS,
+                            host_bps=GBPS)   # pair n: the TCP flow
+        deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
+                                         k=p["k"])
+        self.network, self.deployment = net, deploy
+
+        # ECMP candidate order at S1 follows link creation order:
+        # SPA first, then SPB — index 0 is the flapping side.
+        self.flapping_side: list[FlowKey] = []
+        self.stable_side: list[FlowKey] = []
+        rate = p["rate_mbps"] * 1e6
+        for i in range(n):
+            side = i % 2                 # alternate SPA(0) / SPB(1)
+            sport = self._pin_sport(f"tx{i}", f"rx{i}", PROTO_UDP, side)
+            UdpSink(net.hosts[f"rx{i}"], sport)
+            src = UdpCbrSource(net.sim, net.hosts[f"tx{i}"], f"rx{i}",
+                               sport=sport, dport=sport, rate_bps=rate,
+                               packet_size=1000, priority=PRIO_LOW,
+                               start=0.001,
+                               duration=p["duration"] - 0.005)
+            (self.flapping_side if side == 0
+             else self.stable_side).append(src.flow)
+
+        self.tcp_app = None
+        if p["with_tcp"]:
+            # pin the TCP flow to the flapping spine: its losses during
+            # each blackhole window drive the retransmit cascade
+            sport = self._pin_sport(f"tx{n}", f"rx{n}", PROTO_TCP, 0)
+            self.tcp_app = TcpTimedFlow(
+                net.sim, net.hosts[f"tx{n}"], net.hosts[f"rx{n}"],
+                duration=p["duration"] - 0.010, sport=sport, dport=200,
+                priority=PRIO_LOW)
+            self.flapping_side.append(self.tcp_app.sender.flow)
+
+        self.flapper = LinkFlapper(
+            net, "S1", "SPA", down_for=p["down_for"], up_for=p["up_for"],
+            start_delay=p["first_down"],
+            reconverge_delay=p["reconverge_delay"])
+
+    def _pin_sport(self, src: str, dst: str, proto: int,
+                   side: int, dport: int = 200) -> int:
+        """Find a source port whose 5-tuple hashes to ``side``."""
+        sport = 7000
+        while True:
+            key = FlowKey(src, dst, sport, sport if proto == PROTO_UDP
+                          else dport, proto)
+            if _flow_hash(key) % 2 == side:
+                return sport
+            sport += 1
+
+    def run(self) -> None:
+        self.network.run(until=self.p["duration"])
+        self.flapper.stop()
+
+    def collect(self) -> dict:
+        net = self.network
+        link = net.link_between("S1", "SPA")
+        timeouts = (self.tcp_app.sender.timeouts
+                    if self.tcp_app is not None else 0)
+        self.payload = LinkFlapResult(
+            deployment=self.deployment, network=net,
+            flapped_link=("S1", "SPA"), flaps=self.flapper.flaps,
+            down_drops=link.down_drops, tcp_timeouts=timeouts,
+            flapping_side_flows=list(self.flapping_side),
+            stable_side_flows=list(self.stable_side))
+        return {
+            "flaps": self.payload.flaps,
+            "down_drops": self.payload.down_drops,
+            "tcp_timeouts": timeouts,
+        }
+
+    def diagnose(self) -> list[Verdict]:
+        last_epoch = self.deployment.datapaths["S1"].clock.epoch_of(
+            self.network.sim.now)
+        return [diagnose_link_flap(self.deployment.analyzer, "S1",
+                                   epochs=EpochRange(0, last_epoch))]

@@ -1,0 +1,156 @@
+"""ECMP hash polarization: a port-blind hash collapses multipath onto
+one egress.
+
+The classic polarization bug: a switch whose ECMP hash ignores the L4
+ports (or reuses the exact function of the tier above it) sends every
+flow of a host pair down the same spine, no matter how many connections
+they open.  Utilization collapses to 1/n of the fabric while the other
+spines idle.  The analyzer diagnoses it from host telemetry alone: the
+per-egress flow census at the branch switch concentrates on one egress
+even though the topology offers several — and the observed trajectories
+deviate from the paths a healthy hash would have assigned (path
+non-conformance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analyzer.apps import Verdict, diagnose_polarization
+from ..analyzer.netdebug import check_path_conformance
+from ..core.epoch import EpochRange
+from ..deployment import SwitchPointerDeployment
+from ..simnet.device import _flow_hash
+from ..simnet.packet import PRIO_LOW, PROTO_UDP, FlowKey
+from ..simnet.topology import Network, build_leaf_spine
+from ..simnet.traffic import UdpCbrSource, UdpSink
+from .base import Knob, Scenario, ScenarioSpec, register
+
+
+@dataclass
+class PolarizationResult:
+    """Output of one polarization run."""
+
+    deployment: SwitchPointerDeployment
+    network: Network
+    polarized: bool
+    branch_switch: str
+    flows: list[FlowKey] = field(default_factory=list)
+    #: healthy-hash spine assignment (what ECMP *should* have done)
+    expected_spine: dict[FlowKey, str] = field(default_factory=dict)
+    spine_tx_bytes: dict[str, int] = field(default_factory=dict)
+    off_policy_flows: int = 0
+
+
+def _port_blind(flow: FlowKey) -> int:
+    """The buggy hash: blind to sport/dport (polarizes per host pair)."""
+    return _flow_hash(FlowKey(flow.src, flow.dst, 0, 0, flow.proto))
+
+
+@register
+class PolarizationScenario(Scenario):
+    """Many connections of one host pair, one (buggy) hashing leaf.
+
+    ``n_flows`` UDP flows run h0_0→h1_0 over a 2-leaf/2-spine fabric,
+    with source ports chosen so a *healthy* 5-tuple hash splits them
+    evenly across the spines.  With ``polarized=True`` the source leaf
+    gets the port-blind hash and every flow lands on one spine.
+    """
+
+    spec = ScenarioSpec(
+        name="polarization",
+        summary="a port-blind ECMP hash sends every flow of a host pair "
+                "down one spine",
+        paper_ref="§2.4 extended use case; ECMP hash-polarization "
+                  "faults in multi-tier clos fabrics",
+        expected_diagnosis="ecmp-polarization (suspect: the overloaded "
+                           "spine)",
+        knobs={
+            "n_flows": Knob(8, "parallel connections h0_0→h1_0"),
+            "polarized": Knob(True, "install the port-blind hash on "
+                                    "leaf0 (False = healthy control)"),
+            "duration": Knob(0.030, "per-flow CBR duration (s)"),
+            "rate_mbps": Knob(50.0, "per-flow CBR rate (Mbit/s)"),
+            "skew_threshold": Knob(0.8, "egress share that counts as "
+                                        "polarized"),
+            "alpha_ms": Knob(10, "epoch duration α (ms)"),
+            "k": Knob(3, "pointer hierarchy depth"),
+        },
+        aliases=("ecmp-polarization",),
+        smoke_knobs={"n_flows": 4, "duration": 0.020},
+    )
+
+    def build(self) -> None:
+        p = self.p
+        n = p["n_flows"]
+        net = build_leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=1)
+        deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
+                                         k=p["k"])
+        self.network, self.deployment = net, deploy
+        self.branch_switch = "leaf0"
+        src, dst = "h0_0", "h1_0"
+
+        # ECMP candidate order at leaf0 follows link creation order:
+        # spine0 first, then spine1 (see Network.compute_routes).
+        spines = ("spine0", "spine1")
+
+        # Pick source ports whose *healthy* hash alternates spines, so
+        # the control run is provably balanced and the polarized run's
+        # skew is entirely the bad hash's doing.
+        self.flows: list[FlowKey] = []
+        self.expected_spine: dict[FlowKey, str] = {}
+        want = 0
+        sport = 9000
+        rate = p["rate_mbps"] * 1e6
+        while len(self.flows) < n:
+            flow = FlowKey(src, dst, sport, sport, PROTO_UDP)
+            healthy = _flow_hash(flow) % 2
+            if healthy == want:
+                UdpSink(self.network.hosts[dst], sport)
+                UdpCbrSource(net.sim, net.hosts[src], dst, sport=sport,
+                             dport=sport, rate_bps=rate,
+                             packet_size=1500, priority=PRIO_LOW,
+                             start=0.0, duration=p["duration"])
+                self.flows.append(flow)
+                self.expected_spine[flow] = spines[healthy]
+                want = 1 - want
+            sport += 1
+
+        if p["polarized"]:
+            net.switches["leaf0"].ecmp_hash = _port_blind
+
+    def run(self) -> None:
+        self.network.run(until=self.p["duration"] + 0.010)
+
+    def collect(self) -> dict:
+        net = self.network
+        leaf0 = net.switches["leaf0"]
+        spine_bytes = {
+            sp: net.link_between("leaf0", sp).iface_of(leaf0).tx_bytes
+            for sp in ("spine0", "spine1")}
+        # cross-check: observed trajectories vs the healthy assignment
+        expected_paths = {
+            flow: ["leaf0", spine, "leaf1"]
+            for flow, spine in self.expected_spine.items()}
+        conformance = check_path_conformance(
+            self.deployment.analyzer, expected_paths=expected_paths)
+        self.payload = PolarizationResult(
+            deployment=self.deployment, network=net,
+            polarized=self.p["polarized"],
+            branch_switch=self.branch_switch, flows=list(self.flows),
+            expected_spine=dict(self.expected_spine),
+            spine_tx_bytes=spine_bytes,
+            off_policy_flows=len(conformance.violations))
+        return {
+            "spine_tx_bytes": spine_bytes,
+            "off_policy_flows": self.payload.off_policy_flows,
+        }
+
+    def diagnose(self) -> list[Verdict]:
+        deploy = self.deployment
+        last_epoch = deploy.datapaths["leaf0"].clock.epoch_of(
+            self.network.sim.now)
+        return [diagnose_polarization(
+            deploy.analyzer, self.branch_switch,
+            epochs=EpochRange(0, last_epoch),
+            skew_threshold=self.p["skew_threshold"])]

@@ -30,6 +30,14 @@ PipelineHook = Callable[["Switch", Packet, Optional[Interface], Interface],
 #: (or None to fall through to the default ECMP choice).
 ForwardingOverride = Callable[[Packet, list[Interface]],
                               Optional[Interface]]
+#: ECMP hash hook: flow key -> hash value used to pick among candidates.
+#: Installing a degenerate hash (one blind to some header fields)
+#: reproduces hash-polarization faults.
+EcmpHash = Callable[[FlowKey], int]
+#: Gray-failure hook: packet -> True to silently discard it *before* any
+#: telemetry or forwarding happens (the switch never admits the packet
+#: existed — the defining property of a silent/gray drop).
+DropFilter = Callable[[Packet], bool]
 
 
 def _flow_hash(key: FlowKey) -> int:
@@ -61,9 +69,12 @@ class Switch:
         self._fib: dict[str, list[Interface]] = {}
         self.pipeline: list[PipelineHook] = []
         self.forwarding_override: Optional[ForwardingOverride] = None
+        self.ecmp_hash: Optional[EcmpHash] = None
+        self.drop_filter: Optional[DropFilter] = None
         self.rx_packets = 0
         self.forwarded = 0
         self.no_route_drops = 0
+        self.gray_drops = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -100,6 +111,12 @@ class Switch:
         self.forward(pkt, in_iface=None)
 
     def forward(self, pkt: Packet, in_iface: Optional[Interface]) -> None:
+        if self.drop_filter is not None and self.drop_filter(pkt):
+            # Silent drop: no hop recorded, no pipeline hooks, no
+            # forwarding — upstream telemetry still names this switch's
+            # predecessors, which is what drop localization exploits.
+            self.gray_drops += 1
+            return
         candidates = self._fib.get(pkt.dst)
         if not candidates:
             self.no_route_drops += 1
@@ -108,7 +125,9 @@ class Switch:
         if self.forwarding_override is not None:
             out = self.forwarding_override(pkt, list(candidates))
         if out is None:
-            out = candidates[_flow_hash(pkt.flow) % len(candidates)]
+            hash_fn = self.ecmp_hash if self.ecmp_hash is not None \
+                else _flow_hash
+            out = candidates[hash_fn(pkt.flow) % len(candidates)]
         pkt.record_hop(self.name)
         for hook in self.pipeline:
             hook(self, pkt, in_iface, out)

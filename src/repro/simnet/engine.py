@@ -147,6 +147,47 @@ class Simulator:
         self.run()
 
 
+class AlternatingTimer:
+    """Alternates between two callbacks with independent dwell times.
+
+    ``fn_a`` fires ``start_delay`` seconds from construction; ``fn_b``
+    fires ``period_a`` seconds after that; ``fn_a`` again ``period_b``
+    seconds later, and so on.  The canonical use is a two-state fault
+    process — e.g. a link that stays down for ``period_a`` and up for
+    ``period_b`` (:class:`repro.simnet.topology.LinkFlapper`).
+    """
+
+    def __init__(self, sim: Simulator, period_a: float, fn_a: Callable,
+                 period_b: float, fn_b: Callable, *,
+                 start_delay: float = 0.0):
+        if period_a <= 0 or period_b <= 0:
+            raise SimulationError("dwell periods must be positive")
+        self._sim = sim
+        self._periods = (period_a, period_b)
+        self._fns = (fn_a, fn_b)
+        self._phase = 0
+        self._stopped = False
+        self.transitions = 0
+        self._handle = sim.schedule(start_delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        phase = self._phase
+        self.transitions += 1
+        self._fns[phase]()
+        if self._stopped:  # callback may stop the timer
+            return
+        self._phase = 1 - phase
+        self._handle = self._sim.schedule(self._periods[phase], self._fire)
+
+    def stop(self) -> None:
+        """Stop the timer.  Idempotent."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+
 class PeriodicTimer:
     """Fires a callback every ``period`` seconds until stopped.
 

@@ -62,6 +62,9 @@ class Interface:
         self.busy = False
         self.tx_packets = 0
         self.tx_bytes = 0
+        #: Packets dropped because the parent link was administratively or
+        #: physically down at enqueue time (the link-flap blackhole window).
+        self.dropped_link_down = 0
         #: Optional taps called with each packet as it begins serialization;
         #: used by per-switch throughput probes (Fig 3 measures the same
         #: flow's throughput *at S1* and *at S2*).
@@ -72,7 +75,11 @@ class Interface:
         return f"{self.owner.name}->{self.peer_node.name if self.peer_node else '?'}"
 
     def send(self, pkt: Packet) -> bool:
-        """Queue ``pkt`` for transmission; returns False if tail-dropped."""
+        """Queue ``pkt`` for transmission; returns False if tail-dropped
+        or if the link is down (the packet vanishes, as on a dead wire)."""
+        if not self.link.up:
+            self.dropped_link_down += 1
+            return False
         if not self.queue.enqueue(pkt):
             return False
         if not self.busy:
@@ -132,6 +139,10 @@ class Link:
         #: this is what fits a 12-bit VLAN tag, NOT link_id (which
         #: grows without bound across networks in one process).
         self.vlan_id: Optional[int] = None
+        #: Liveness: a down link silently drops every packet offered to
+        #: either direction.  Packets already serializing or propagating
+        #: still arrive — a flap loses what is sent *during* the outage.
+        self.up = True
         qf = queue_factory if queue_factory is not None else DropTailFIFO
         self.iface_a = Interface(sim, a, self, qf())
         self.iface_b = Interface(sim, b, self, qf())
@@ -141,6 +152,19 @@ class Link:
         self.iface_b.peer_iface = self.iface_a
         self.a = a
         self.b = b
+
+    def set_down(self) -> None:
+        """Take the link down.  Idempotent."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Bring the link back up.  Idempotent."""
+        self.up = True
+
+    @property
+    def down_drops(self) -> int:
+        """Packets lost to outages, both directions combined."""
+        return self.iface_a.dropped_link_down + self.iface_b.dropped_link_down
 
     def iface_of(self, node: Node) -> Interface:
         """The outgoing interface at ``node``."""

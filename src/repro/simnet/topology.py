@@ -22,7 +22,7 @@ from typing import Callable, Optional
 
 import networkx as nx
 
-from .engine import Simulator
+from .engine import AlternatingTimer, Simulator
 from .link import Link, Node
 from .packet import Packet
 from .queues import PacketQueue
@@ -121,7 +121,12 @@ class Network:
     # -- graph & paths -----------------------------------------------------
 
     def graph(self) -> nx.Graph:
-        """The topology as a networkx graph (nodes are names)."""
+        """The *physical* topology as a networkx graph (nodes are names).
+
+        Down links stay in this graph: cabling does not disappear when a
+        port flaps, and the analyzer's policy checks compare against the
+        physical design.  Routing uses :meth:`live_graph` instead.
+        """
         if self._graph is None:
             g = nx.Graph()
             for name in self.hosts:
@@ -132,6 +137,22 @@ class Network:
                 g.add_edge(link.a.name, link.b.name, link=link)
             self._graph = g
         return self._graph
+
+    def live_graph(self) -> nx.Graph:
+        """The topology restricted to links that are currently up.
+
+        Built fresh on every call (liveness changes do not version the
+        cached physical graph); used by :meth:`compute_routes`.
+        """
+        g = nx.Graph()
+        for name in self.hosts:
+            g.add_node(name, kind="host")
+        for name in self.switches:
+            g.add_node(name, kind="switch")
+        for link in self.links:
+            if link.up:
+                g.add_edge(link.a.name, link.b.name, link=link)
+        return g
 
     def shortest_paths(self, src: str, dst: str) -> list[list[str]]:
         """All shortest src→dst node-name paths (deterministic order)."""
@@ -167,10 +188,11 @@ class Network:
         """Install ECMP forwarding state for every host destination.
 
         For each switch and destination host, every neighbor on some
-        shortest path toward the destination contributes one candidate
-        egress interface.
+        shortest *live* path toward the destination contributes one
+        candidate egress interface.  Down links contribute nothing, so
+        re-running this after a link event models routing reconvergence.
         """
-        g = self.graph()
+        g = self.live_graph()
         dist = dict(nx.all_pairs_shortest_path_length(g))
         for sw_name, sw in self.switches.items():
             sw.clear_routes()
@@ -181,14 +203,90 @@ class Network:
                 if d_here is None:
                     continue
                 for link in self.links:
+                    if not link.up:
+                        continue
                     if sw_name not in (link.a.name, link.b.name):
                         continue
                     peer = link.peer_of(sw)
                     if dist[peer.name].get(dst) == d_here - 1:
                         sw.install_route(dst, link.iface_of(sw))
 
+    def set_link_state(self, a: str, b: str, up: bool, *,
+                       reconverge: bool = True) -> Link:
+        """Take the a—b link down (or up), optionally recomputing routes.
+
+        With ``reconverge=False`` the forwarding state keeps pointing at
+        the dead link until :meth:`compute_routes` runs — the blackhole
+        window between a physical failure and control-plane convergence.
+        """
+        link = self.link_between(a, b)
+        if up:
+            link.set_up()
+        else:
+            link.set_down()
+        if reconverge:
+            self.compute_routes()
+        return link
+
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
+
+
+class LinkFlapper:
+    """Periodically takes one link down and back up (fault injector).
+
+    Each transition flips the physical state immediately; the routing
+    reconvergence that follows is delayed by ``reconverge_delay`` —
+    packets sent into the dead link during that window are lost, which
+    is what drives the cascaded retransmits the flap scenario studies.
+
+    Parameters
+    ----------
+    down_for / up_for:
+        Dwell times of the two states, in seconds.
+    start_delay:
+        When the first down transition fires.
+    reconverge_delay:
+        Control-plane convergence lag after each transition.
+    """
+
+    def __init__(self, net: Network, a: str, b: str, *,
+                 down_for: float, up_for: float, start_delay: float,
+                 reconverge_delay: float = 0.0):
+        self.net = net
+        self.link = net.link_between(a, b)
+        self.endpoints = (a, b)
+        self.reconverge_delay = reconverge_delay
+        self.downs = 0
+        self.ups = 0
+        self._timer = AlternatingTimer(
+            net.sim, down_for, self._go_down, up_for, self._go_up,
+            start_delay=start_delay)
+
+    def _go_down(self) -> None:
+        self.downs += 1
+        self._transition(up=False)
+
+    def _go_up(self) -> None:
+        self.ups += 1
+        self._transition(up=True)
+
+    def _transition(self, *, up: bool) -> None:
+        a, b = self.endpoints
+        self.net.set_link_state(a, b, up, reconverge=False)
+        if self.reconverge_delay > 0:
+            self.net.sim.schedule(self.reconverge_delay,
+                                  self.net.compute_routes)
+        else:
+            self.net.compute_routes()
+
+    @property
+    def flaps(self) -> int:
+        """Completed down/up cycles."""
+        return self.ups
+
+    def stop(self) -> None:
+        self._timer.stop()
 
 
 # ---------------------------------------------------------------------------

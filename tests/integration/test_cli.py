@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.scenarios import REGISTRY
 
 
 class TestParser:
@@ -12,6 +13,17 @@ class TestParser:
         for fig in ("fig2a", "fig3", "fig8", "sizing"):
             assert fig in out
 
+    def test_list_matches_registry(self, capsys):
+        """Every registered scenario (and its aliases) appears in
+        `list` — the CLI is registry-driven, no hand-kept tables."""
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert len(REGISTRY) >= 8
+        for spec in REGISTRY.specs():
+            assert spec.name in out
+            for alias in spec.aliases:
+                assert alias in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -19,6 +31,41 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
+
+
+class TestRunCommand:
+    def test_run_by_name(self, capsys):
+        assert main(["run", "gray-failure", "--knob", "n_flows=2"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: gray-failure" in out
+        assert "diagnosis (gray-failure) [suspect: S3]" in out
+
+    def test_run_by_alias_with_knobs(self, capsys):
+        assert main(["run", "fig8", "--knob", "n_servers=4"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: load-imbalance" in out
+        assert "clean separation" in out
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_knob_fails_cleanly(self, capsys):
+        assert main(["run", "gray-failure", "--knob", "bogus=1"]) == 2
+        assert "unknown knob" in capsys.readouterr().err
+
+    def test_malformed_knob_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "gray-failure", "--knob", "not-a-pair"])
+
+    def test_knob_coercion(self, capsys):
+        # bools, floats, and strings all arrive typed at the scenario
+        assert main(["run", "polarization", "--knob", "polarized=false",
+                     "--knob", "n_flows=4", "--knob",
+                     "duration=0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "polarized=False" in out
+        assert "no polarization" in out
 
 
 class TestSizing:

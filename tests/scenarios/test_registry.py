@@ -1,0 +1,132 @@
+"""Tests for the scenario registry and the four-phase protocol."""
+
+import pytest
+
+from repro.scenarios import (REGISTRY, Knob, Scenario, ScenarioError,
+                             ScenarioRegistry, ScenarioSpec, run_scenario)
+
+
+def _spec(name, aliases=()):
+    return ScenarioSpec(name=name, summary="s", paper_ref="p",
+                        expected_diagnosis="d", aliases=aliases)
+
+
+class _Dummy(Scenario):
+    spec = _spec("dummy")
+
+    def build(self):
+        pass
+
+    def run(self):
+        pass
+
+    def collect(self):
+        return {}
+
+    def diagnose(self):
+        return []
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        reg = ScenarioRegistry()
+        reg.register(_Dummy)
+        clone = type("Clone", (_Dummy,), {"spec": _spec("dummy")})
+        with pytest.raises(ScenarioError, match="duplicate"):
+            reg.register(clone)
+
+    def test_alias_colliding_with_name_rejected(self):
+        reg = ScenarioRegistry()
+        reg.register(_Dummy)
+        other = type("Other", (_Dummy,),
+                     {"spec": _spec("other", aliases=("dummy",))})
+        with pytest.raises(ScenarioError, match="duplicate"):
+            reg.register(other)
+
+    def test_duplicate_alias_rejected(self):
+        reg = ScenarioRegistry()
+        a = type("A", (_Dummy,), {"spec": _spec("a", aliases=("x",))})
+        b = type("B", (_Dummy,), {"spec": _spec("b", aliases=("x",))})
+        reg.register(a)
+        with pytest.raises(ScenarioError, match="duplicate"):
+            reg.register(b)
+
+    def test_class_without_spec_rejected(self):
+        reg = ScenarioRegistry()
+        with pytest.raises(ScenarioError, match="ScenarioSpec"):
+            reg.register(type("NoSpec", (), {}))
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            REGISTRY.get("no-such-scenario")
+
+    def test_alias_resolution(self):
+        for alias, name in (("fig2a", "contention"), ("fig2b", "microburst"),
+                            ("fig3", "red-lights"), ("fig4", "cascades"),
+                            ("fig7", "contention"),
+                            ("fig8", "load-imbalance")):
+            assert REGISTRY.get(alias).spec.name == name
+            assert alias in REGISTRY
+
+    def test_registry_has_at_least_eight_scenarios(self):
+        assert len(REGISTRY) >= 8
+        for new in ("incast", "gray-failure", "polarization", "link-flap"):
+            assert new in REGISTRY
+
+
+class TestScenarioProtocol:
+    def test_unknown_knob_rejected(self):
+        cls = REGISTRY.get("gray-failure")
+        with pytest.raises(ScenarioError, match="unknown knob"):
+            cls(no_such_knob=1)
+
+    def test_knob_defaults_and_overrides(self):
+        cls = REGISTRY.get("gray-failure")
+        sc = cls(fault_switch="S2")
+        assert sc.p["fault_switch"] == "S2"
+        assert sc.p["n_flows"] == cls.spec.knobs["n_flows"].default
+
+    def test_build_must_set_network_and_deployment(self):
+        with pytest.raises(ScenarioError, match="must set"):
+            _Dummy().execute()
+
+    def test_specs_are_well_formed(self):
+        for spec in REGISTRY.specs():
+            assert spec.name and spec.summary and spec.paper_ref
+            assert spec.expected_diagnosis
+            for knob_name, knob in spec.knobs.items():
+                assert isinstance(knob, Knob), (spec.name, knob_name)
+                assert knob.help
+            unknown_smoke = set(spec.smoke_knobs) - set(spec.knobs)
+            assert not unknown_smoke, (spec.name, unknown_smoke)
+
+
+class TestRoundTrips:
+    """Every registered scenario must complete all four phases quickly
+    and produce a verdict (the acceptance bar for new plugins)."""
+
+    @pytest.mark.parametrize("name", REGISTRY.names())
+    def test_round_trip(self, name):
+        spec = REGISTRY.get(name).spec
+        result = run_scenario(name, **spec.smoke_knobs)
+        assert set(result.timings) == {"build", "run", "collect",
+                                       "diagnose"}
+        assert result.sim_time > 0
+        assert result.network is not None
+        assert result.deployment is not None
+        assert result.switch_stats  # one entry per switch
+        assert result.verdicts, f"{name} produced no verdict"
+        for v in result.verdicts:
+            assert v.narrative
+
+    def test_run_scenario_via_alias(self):
+        spec = REGISTRY.get("contention").spec
+        result = run_scenario("fig2a", **spec.smoke_knobs)
+        assert result.name == "contention"
+
+    def test_summary_lines_render(self):
+        spec = REGISTRY.get("gray-failure").spec
+        result = run_scenario("gray-failure", **spec.smoke_knobs)
+        text = "\n".join(result.summary_lines())
+        assert "scenario: gray-failure" in text
+        assert "diagnosis (gray-failure)" in text

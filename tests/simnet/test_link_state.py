@@ -1,0 +1,170 @@
+"""Tests for link liveness, routing reconvergence, and fault hooks
+(the simnet primitives behind the link-flap and gray-failure
+scenarios)."""
+
+import pytest
+
+from repro.simnet.device import _flow_hash
+from repro.simnet.engine import AlternatingTimer, SimulationError, Simulator
+from repro.simnet.packet import PROTO_UDP, FlowKey, make_udp
+from repro.simnet.topology import LinkFlapper, Network, build_linear
+
+
+def diamond() -> Network:
+    """S1—{SPA,SPB}—S2 with one host pair."""
+    net = Network()
+    s1 = net.add_switch("S1")
+    spa = net.add_switch("SPA")
+    spb = net.add_switch("SPB")
+    s2 = net.add_switch("S2")
+    for spine in (spa, spb):
+        net.connect(s1, spine)
+        net.connect(spine, s2)
+    tx = net.add_host("tx")
+    rx = net.add_host("rx")
+    net.connect(tx, s1)
+    net.connect(rx, s2)
+    net.compute_routes()
+    return net
+
+
+class TestLinkState:
+    def test_down_link_drops_sends(self):
+        net = build_linear(2, 1)
+        link = net.link_between("S1", "S2")
+        link.set_down()
+        net.hosts["h1_0"].send(make_udp("h1_0", "h2_0", 1, 9, 400))
+        net.run()
+        iface = link.iface_of(net.switches["S1"])
+        assert iface.dropped_link_down == 1
+        assert link.down_drops == 1
+        assert net.hosts["h2_0"].rx_packets == 0
+
+    def test_up_link_delivers_again(self):
+        net = build_linear(2, 1)
+        link = net.link_between("S1", "S2")
+        link.set_down()
+        link.set_up()
+        net.hosts["h1_0"].send(make_udp("h1_0", "h2_0", 1, 9, 400))
+        net.run()
+        assert net.hosts["h2_0"].rx_packets == 1
+
+    def test_reconverge_routes_around_down_link(self):
+        net = diamond()
+        assert len(net.switches["S1"].routes_for("rx")) == 2
+        net.set_link_state("S1", "SPA", False)
+        routes = net.switches["S1"].routes_for("rx")
+        assert len(routes) == 1
+        assert routes[0].peer_node.name == "SPB"
+        # traffic flows via the survivor
+        net.hosts["tx"].send(make_udp("tx", "rx", 1, 9, 400))
+        net.run()
+        assert net.hosts["rx"].rx_packets == 1
+
+    def test_no_reconverge_leaves_blackhole(self):
+        net = diamond()
+        net.set_link_state("S1", "SPA", False, reconverge=False)
+        # ECMP may still pick the dead link: find a flow hashed to SPA
+        candidates = net.switches["S1"].routes_for("rx")
+        sport = 1
+        while True:
+            key = FlowKey("tx", "rx", sport, 9, PROTO_UDP)
+            if candidates[_flow_hash(key) % 2].peer_node.name == "SPA":
+                break
+            sport += 1
+        net.hosts["tx"].send(make_udp("tx", "rx", sport, 9, 400))
+        net.run()
+        assert net.hosts["rx"].rx_packets == 0
+        assert net.link_between("S1", "SPA").down_drops == 1
+
+    def test_restore_recovers_both_paths(self):
+        net = diamond()
+        net.set_link_state("S1", "SPA", False)
+        net.set_link_state("S1", "SPA", True)
+        assert len(net.switches["S1"].routes_for("rx")) == 2
+
+    def test_live_graph_excludes_down_links(self):
+        net = diamond()
+        net.link_between("S1", "SPA").set_down()
+        live = net.live_graph()
+        assert not live.has_edge("S1", "SPA")
+        # the physical graph keeps the edge
+        assert net.graph().has_edge("S1", "SPA")
+
+
+class TestSwitchFaultHooks:
+    def test_drop_filter_is_silent(self):
+        net = build_linear(3, 1)
+        victim = FlowKey("h1_0", "h3_0", 1, 9, PROTO_UDP)
+        s2 = net.switches["S2"]
+        s2.drop_filter = lambda pkt: pkt.flow == victim
+        net.hosts["h1_0"].send(make_udp("h1_0", "h3_0", 1, 9, 400))
+        net.hosts["h1_0"].send(make_udp("h1_0", "h3_0", 2, 9, 400))
+        net.run()
+        assert s2.gray_drops == 1
+        assert net.hosts["h3_0"].rx_packets == 1  # the other flow passes
+        # a silently dropped packet is never counted as forwarded at S2
+        assert s2.forwarded == 1
+
+    def test_ecmp_hash_hook_polarizes(self):
+        net = diamond()
+        net.switches["S1"].ecmp_hash = lambda flow: 0
+        for sport in range(1, 9):
+            net.hosts["tx"].send(make_udp("tx", "rx", sport, 9, 400))
+        net.run()
+        s1 = net.switches["S1"]
+        spa = net.link_between("S1", "SPA").iface_of(s1)
+        spb = net.link_between("S1", "SPB").iface_of(s1)
+        assert spa.tx_packets == 8 and spb.tx_packets == 0
+
+
+class TestAlternatingTimer:
+    def test_alternates_with_independent_dwells(self):
+        sim = Simulator()
+        events = []
+        AlternatingTimer(sim, 0.002, lambda: events.append(("a", sim.now)),
+                         0.003, lambda: events.append(("b", sim.now)),
+                         start_delay=0.001)
+        sim.run(until=0.012)
+        names = [n for n, _ in events]
+        assert names == ["a", "b", "a", "b", "a"]
+        times = [round(t, 6) for _, t in events]
+        assert times == [0.001, 0.003, 0.006, 0.008, 0.011]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = AlternatingTimer(sim, 0.001, lambda: fired.append("a"),
+                                 0.001, lambda: fired.append("b"))
+        sim.run(until=0.0035)
+        timer.stop()
+        sim.run(until=0.010)
+        assert fired == ["a", "b", "a", "b"]
+
+    def test_rejects_nonpositive_dwell(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            AlternatingTimer(sim, 0.0, lambda: None, 0.001, lambda: None)
+
+
+class TestLinkFlapper:
+    def test_flap_cycle_counts_and_recovers(self):
+        net = diamond()
+        flapper = LinkFlapper(net, "S1", "SPA", down_for=0.002,
+                              up_for=0.002, start_delay=0.001)
+        net.run(until=0.0095)
+        flapper.stop()
+        # transitions at 1,3,5,7,9 ms: down,up,down,up,down
+        assert flapper.downs == 3
+        assert flapper.ups == 2
+        assert flapper.flaps == 2
+
+    def test_reconverge_delay_defers_rerouting(self):
+        net = diamond()
+        LinkFlapper(net, "S1", "SPA", down_for=0.004, up_for=0.004,
+                    start_delay=0.001, reconverge_delay=0.002)
+        net.run(until=0.002)   # down at 1 ms; reconverge due at 3 ms
+        assert not net.link_between("S1", "SPA").up
+        assert len(net.switches["S1"].routes_for("rx")) == 2
+        net.run(until=0.0035)  # reconvergence happened
+        assert len(net.switches["S1"].routes_for("rx")) == 1

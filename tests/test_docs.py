@@ -1,0 +1,65 @@
+"""Docs health: the generated catalogue is in sync with the registry,
+and intra-repo markdown links resolve (same checks CI's docs job runs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.scenarios import REGISTRY, catalog_markdown
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestScenarioCatalog:
+    def test_scenarios_md_matches_registry(self):
+        """docs/SCENARIOS.md must be regenerated when the registry
+        changes (python tools/gen_scenario_docs.py)."""
+        page = (REPO / "docs" / "SCENARIOS.md").read_text(encoding="utf-8")
+        assert page == catalog_markdown()
+
+    def test_every_scenario_documented(self):
+        page = (REPO / "docs" / "SCENARIOS.md").read_text(encoding="utf-8")
+        for spec in REGISTRY.specs():
+            assert f"## `{spec.name}`" in page
+            assert spec.summary in page
+            for knob in spec.knobs:
+                assert f"`{knob}`" in page
+
+
+class TestArchitecturePage:
+    def test_exists_and_mentions_layers(self):
+        page = (REPO / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8")
+        for anchor in ("switchd", "hostd", "analyzer", "scenario registry",
+                       "src/repro/scenarios/"):
+            assert anchor in page
+
+    def test_readme_links_both_docs(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/SCENARIOS.md" in readme
+
+
+class TestLinkChecker:
+    def test_intra_repo_links_resolve(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_links.py")],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_checker_catches_broken_link(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](no/such/file.md)", encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_links.py"),
+             str(bad)],
+            capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "no/such/file.md" in proc.stdout
+
+    def test_generator_check_mode_passes(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "gen_scenario_docs.py"),
+             "--check"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

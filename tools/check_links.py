@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links in README.md and docs/*.md.
+
+Stdlib only.  Flags relative link targets that do not exist on disk
+(external ``http(s)``/``mailto`` links and pure ``#anchor`` references
+are skipped).  Exit status 1 when any link is broken.
+
+Usage::
+
+    python tools/check_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images' leading ! is unnecessary: image
+#: targets must exist too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def default_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    docs = REPO / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def broken_links(md_file: Path) -> list[tuple[int, str]]:
+    out = []
+    text = md_file.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md_file.parent / path_part).resolve()
+            if not resolved.exists():
+                out.append((lineno, target))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    files = ([Path(a).resolve() for a in argv] if argv
+             else default_files())
+    bad = 0
+    for md_file in files:
+        for lineno, target in broken_links(md_file):
+            rel = md_file.relative_to(REPO) \
+                if md_file.is_relative_to(REPO) else md_file
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            bad += 1
+    if bad:
+        print(f"{bad} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
