@@ -29,13 +29,13 @@ def test_fig4_cascades(benchmark):
     for label, res in (("WITHOUT cascade (Fig 4a)", base),
                        ("WITH cascade (Fig 4b)", casc)):
         lines.append(f"--- {label} ---")
-        lines.append(f"flow B-D throughput (first 25 ms):")
+        lines.append("flow B-D throughput (first 25 ms):")
         lines += fmt_series([(t, g) for t, g in res.tput_bd.series()
                              if t <= 0.025], every=2)
-        lines.append(f"flow A-F throughput (first 25 ms):")
+        lines.append("flow A-F throughput (first 25 ms):")
         lines += fmt_series([(t, g) for t, g in res.tput_af.series()
                              if t <= 0.025], every=2)
-        lines.append(f"flow C-E throughput (first 40 ms):")
+        lines.append("flow C-E throughput (first 40 ms):")
         lines += fmt_series([(t, g) for t, g in res.tput_ce.series()
                              if t <= 0.040], every=4)
         done = res.ce_completed_at

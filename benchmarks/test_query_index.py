@@ -9,7 +9,6 @@ kept as reference).  Asserts the ≥5× speedup the index exists for, and
 that both paths return byte-identical payloads (the equivalence the
 property suite checks exhaustively on small cases)."""
 
-import heapq
 import time
 
 import pytest
@@ -107,7 +106,17 @@ def test_query_index_speedup(benchmark):
         f"indexed: {indexed_topk * 1e3:8.2f} ms   "
         f"speedup: {topk_speedup:6.1f}x",
         "(index: per-switch buckets + sorted-by-epoch bisect; "
-        "top-k on a bounded heap)"])
+        "top-k on a bounded heap)"],
+        data={
+            "records": len(store),
+            "switches": N_SWITCHES,
+            "indexed_match_ms": round(indexed_match * 1e3, 3),
+            "linear_match_ms": round(linear_match * 1e3, 3),
+            "indexed_topk_ms": round(indexed_topk * 1e3, 3),
+            "linear_topk_ms": round(linear_topk * 1e3, 3),
+            "match_speedup": round(match_speedup, 2),
+            "topk_speedup": round(topk_speedup, 2),
+        })
 
     assert len(store) == N_RECORDS
     assert match_speedup >= 5, match_speedup

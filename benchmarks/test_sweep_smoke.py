@@ -1,0 +1,53 @@
+"""Sweep-smoke benchmark: the CI regression-gate anchor for sweeps.
+
+Runs the incast scale sweep at its two smallest populations (inline,
+one worker, fixed seed) and persists the resulting ``SweepReport`` to
+``results/sweep_smoke.json``.  ``tools/check_bench_regression.py``
+compares the per-point wall times in that document against the
+committed baseline in ``benchmarks/baselines/sweep_smoke.json`` and
+fails CI on a >30% regression — this file is what keeps the sweep
+runner's point overhead honest, while the nightly scheduled run covers
+the thousand-host end of the grid.
+"""
+
+import pytest
+
+from repro.sweep import SWEEPS, Sweep, validate_report
+
+from benchmarks.reporting import emit
+
+GRID = {"hosts": [64, 128]}
+BASE_SEED = 1729
+
+
+def run_sweep():
+    spec = SWEEPS.get("incast")
+    sweep = Sweep(
+        spec,
+        {axis: list(vals) for axis, vals in GRID.items()},
+        workers=1,
+        base_seed=BASE_SEED,
+        extra_knobs={"duration": 0.02, "burst_start": 0.008},
+    )
+    return sweep.run()
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_sweep_smoke(benchmark):
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    doc = report.to_json()
+    assert validate_report(doc) == [], validate_report(doc)
+
+    grid_str = ",".join(str(h) for h in GRID["hosts"])
+    lines = [f"scenario: {report.scenario}   grid: hosts={grid_str}"]
+    for point in report.points:
+        lines.append(
+            f"  hosts={point.params['hosts']:5d}  "
+            f"wall={point.wall_time_s * 1e3:7.1f} ms  "
+            f"peak_records={point.peak_records}  "
+            f"ok={point.ok}"
+        )
+    lines.append(f"total wall: {report.wall_time_s * 1e3:.1f} ms")
+    emit("sweep_smoke", lines, data=doc)
+
+    assert report.all_ok, [(p.index, p.error or p.problems) for p in report.points]

@@ -15,7 +15,6 @@ import pytest
 from repro.core.headers import IntStack, VlanDoubleTag
 from repro.simnet.packet import make_udp
 from repro.simnet.topology import build_fat_tree
-from repro.switchd.datapath import MODE_INT, MODE_VLAN
 
 from benchmarks.reporting import emit
 

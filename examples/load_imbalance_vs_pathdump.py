@@ -40,7 +40,7 @@ def main() -> None:
     pd = PathDumpAnalyzer(res.deployment.host_agents)
     dist, bd = pd.flow_size_distribution(switch=res.suspect_switch,
                                          epochs=epochs)
-    print(f"\nPathDump (same query, no directory):")
+    print("\nPathDump (same query, no directory):")
     print(f"  servers contacted: {len(pd.all_servers)} (all of them)")
     print(f"  response time: {bd.total * 1e3:.1f} ms")
     speedup = bd.total / verdict.total_time_s

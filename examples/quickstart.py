@@ -23,8 +23,9 @@ def build_network() -> Network:
     """Dumbbell: senders behind S1, receivers behind S2, 1 Gbps."""
     net = Network()
     s1, s2 = net.add_switch("S1"), net.add_switch("S2")
-    qf = lambda: StrictPriorityQueue(levels=3,
-                                     capacity_bytes=4 * 1024 * 1024)
+    def qf():
+        return StrictPriorityQueue(levels=3,
+                                   capacity_bytes=4 * 1024 * 1024)
     net.connect(s1, s2, rate_bps=1e9, queue_factory=qf)
     for name, sw in (("alice", s1), ("bursty", s1),
                      ("bob", s2), ("carol", s2)):

@@ -48,7 +48,7 @@ def cascades() -> None:
     print("=" * 64)
     base = run_cascades_scenario(cascaded=False)
     casc = run_cascades_scenario(cascaded=True)
-    print(f"\nC-E (2 MB, low priority TCP) completion:")
+    print("\nC-E (2 MB, low priority TCP) completion:")
     print(f"  without cascade: {base.ce_completed_at * 1e3:.1f} ms")
     print(f"  with cascade:    {casc.ce_completed_at * 1e3:.1f} ms")
 

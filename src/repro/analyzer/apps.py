@@ -36,7 +36,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.epoch import EpochRange
-from ..hostd.query import FlowSummary
 from ..hostd.triggers import VictimAlert
 from ..rpc.fabric import Breakdown
 from ..simnet.packet import FlowKey

@@ -22,7 +22,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.epoch import EpochRange
-from ..hostd.records import FlowRecord
 from ..rpc.fabric import Breakdown
 from ..simnet.packet import FlowKey
 from .analyzer import Analyzer

@@ -9,7 +9,7 @@ servers in the network" — the exact behaviour Fig 12 compares against.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 from ..core.epoch import EpochRange
 from ..hostd.agent import HostAgent

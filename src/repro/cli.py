@@ -6,22 +6,29 @@ Usage::
     python -m repro.cli run incast               # any name or alias
     python -m repro.cli run gray-failure --knob fault_switch=S2
     python -m repro.cli run fig3                 # fig ids are aliases
+    python -m repro.cli sweep list               # registered scale sweeps
+    python -m repro.cli sweep run incast --grid hosts=64,256,1024
     python -m repro.cli sizing --hosts 100000 --alpha 10 --k 3
 
-``list`` and ``run`` are driven entirely by the scenario registry
-(:mod:`repro.scenarios`): registering a new scenario class makes it
-appear here with no CLI edits.  The historical figure ids (``fig2a``,
-``fig3``, ...) remain available both as registry aliases to ``run`` and
-as standalone subcommands that print the original sweep tables.
+``list``, ``run``, and ``sweep`` are driven entirely by the scenario
+and sweep registries (:mod:`repro.scenarios`, :mod:`repro.sweep`):
+registering a new scenario class or sweep spec makes it appear here
+with no CLI edits.  The historical figure ids (``fig2a``, ``fig3``,
+...) remain available both as registry aliases to ``run`` and as
+standalone subcommands that print the original sweep tables.
 
-The heavy lifting lives in :mod:`repro.scenarios` and
-:mod:`repro.core.sizing`; this module only parses arguments and prints.
+The heavy lifting lives in :mod:`repro.scenarios`, :mod:`repro.sweep`,
+and :mod:`repro.core.sizing`; this module only parses arguments and
+prints.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import random
 import sys
+from pathlib import Path
 
 from .analyzer.apps import (diagnose_contention, diagnose_load_imbalance,
                             diagnose_red_lights, diagnose_cascade)
@@ -33,6 +40,8 @@ from .scenarios import (REGISTRY, ScenarioError, run_cascades_scenario,
                         run_load_imbalance_scenario,
                         run_red_lights_scenario, run_scenario)
 from .simnet.engine import SimulationError
+from .sweep import (SWEEPS, GridError, Sweep, SweepError, parse_grid,
+                    validate_report, DEFAULT_BASE_SEED)
 
 #: Non-scenario commands (the resource-arithmetic calculator).
 SIZING_DESC = "Fig 10/11 resource arithmetic for one (n, alpha, k)"
@@ -88,6 +97,11 @@ def _parse_knobs(pairs: list[str]) -> dict:
 
 def cmd_run(args) -> int:
     try:
+        if args.seed is not None:
+            # replay path for sweep points: seed exactly as the sweep
+            # worker does, so `run --seed <point seed> --knob ...`
+            # reproduces that point bit-for-bit
+            random.seed(args.seed)
         result = run_scenario(args.scenario,
                               **_parse_knobs(args.knob))
     except (ScenarioError, ValueError, TypeError, KeyError,
@@ -102,11 +116,81 @@ def cmd_run(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# scale sweeps (registry-driven, like run/list)
+# ---------------------------------------------------------------------------
+
+def cmd_sweep_list(_args) -> int:
+    print("sweeps (python -m repro.cli sweep run <scenario>):")
+    for spec in SWEEPS.specs():
+        axes = ",".join(spec.axes)
+        print(f"  {spec.scenario:15s} axes: {axes}")
+        print(f"  {'':15s} {spec.summary}")
+    return 0
+
+
+def cmd_sweep_run(args) -> int:
+    try:
+        spec = SWEEPS.get(args.scenario)
+        grid = parse_grid(args.grid) if args.grid else None
+        if getattr(args, "nightly", False) and grid is None:
+            if not spec.nightly_grid:
+                # falling back to the full default grid here would turn
+                # the "reduced" nightly CI run into the big sweep
+                raise SweepError(
+                    f"sweep {spec.scenario!r} declares no nightly grid; "
+                    f"pass --grid explicitly")
+            grid = {axis: list(vals)
+                    for axis, vals in spec.nightly_grid.items()}
+        sweep = Sweep(spec, grid, workers=args.workers,
+                      base_seed=args.seed,
+                      extra_knobs=_parse_knobs(args.knob))
+    except (SweepError, GridError, ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def show(point) -> None:
+        params = ", ".join(f"{k}={v}" for k, v in point.params.items())
+        if point.error is not None:
+            status = f"ERROR: {point.error}"
+        elif point.diagnosis_ok:
+            suspects = ",".join(point.suspects) or "-"
+            status = f"ok [suspect: {suspects}]"
+        else:
+            status = f"MISDIAGNOSED: {point.problems or 'no verdict'}"
+        print(f"  point {point.index}: {params}  "
+              f"{point.wall_time_s:6.2f}s  "
+              f"peak_records={point.peak_records}  {status}")
+
+    print(f"sweep {spec.scenario}: {len(sweep.params)} points, "
+          f"{sweep.workers} worker(s)")
+    report = sweep.run(on_point=show)
+    doc = report.to_json()
+    problems = validate_report(doc)
+    if problems:
+        # a structurally invalid report is a bug, not a result
+        for problem in problems:
+            print(f"error: invalid report: {problem}", file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else (
+        Path("results") / f"sweep_{spec.scenario}.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    summary = report.summary()
+    print(f"{summary['ok']}/{summary['points']} points ok "
+          f"({summary['errors']} errors, "
+          f"{summary['diagnosis_failures']} misdiagnosed) "
+          f"in {summary['wall_time_s']:.2f}s")
+    print(f"report: {out}")
+    return 0 if report.all_ok else 1
+
+
+# ---------------------------------------------------------------------------
 # legacy figure sweeps
 # ---------------------------------------------------------------------------
 
 def cmd_fig2(args, discipline: str) -> int:
-    print(f"m_flows  starvation_ms  max_gap_ms  timeouts")
+    print("m_flows  starvation_ms  max_gap_ms  timeouts")
     for m in args.flows:
         res = run_contention_scenario(m, discipline=discipline,
                                       duration=0.045, watch=False)
@@ -193,6 +277,35 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--knob", action="append", default=[],
                     metavar="KEY=VALUE",
                     help="override a scenario knob (repeatable)")
+    pr.add_argument("--seed", type=int, default=None,
+                    help="seed the RNG before building (replays a "
+                         "sweep point's recorded seed)")
+
+    psweep = sub.add_parser("sweep", help="scale sweeps: run a scenario "
+                                          "across a parameter grid")
+    sweep_sub = psweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_sub.add_parser("list", help="list registered sweeps")
+    psr = sweep_sub.add_parser("run", help="run one sweep and write a "
+                                           "SweepReport JSON")
+    psr.add_argument("scenario", help="sweep registry name (see "
+                                      "`sweep list`)")
+    psr.add_argument("--grid", action="append", default=[],
+                     metavar="AXIS=V1,V2,...",
+                     help="one grid axis (repeatable); default: the "
+                          "sweep's declared grid")
+    psr.add_argument("--workers", type=int, default=None,
+                     help="parallel point workers (default: cpu count)")
+    psr.add_argument("--seed", type=int, default=DEFAULT_BASE_SEED,
+                     help="base seed for per-point seeds")
+    psr.add_argument("--out", default=None,
+                     help="report path (default: "
+                          "results/sweep_<scenario>.json)")
+    psr.add_argument("--knob", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="pin a scenario knob for every point "
+                          "(repeatable)")
+    psr.add_argument("--nightly", action="store_true",
+                     help="use the sweep's reduced nightly grid")
 
     for fig in ("fig2a", "fig2b", "fig7"):
         p = sub.add_parser(fig, help=LEGACY_FIGURES[fig])
@@ -212,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "sweep":
+        if args.sweep_command == "list":
+            return cmd_sweep_list(args)
+        return cmd_sweep_run(args)
     dispatch = {
         "list": cmd_list,
         "run": cmd_run,

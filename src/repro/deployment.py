@@ -53,6 +53,11 @@ class SwitchPointerDeployment:
     enforce_commodity_limit:
         Refuse α below the 15 ms OpenFlow rule-update floor (off by
         default — the simulated switches are not so constrained).
+    records_per_host / record_shards / ingest_batch:
+        Host-agent storage knobs for scale sweeps: the per-host record
+        bound (None = unbounded), the number of record-store shards
+        (>1 = :class:`~repro.hostd.sharded.ShardedRecordStore`), and the
+        sniffed-packet batch size for deferred-eviction ingestion.
     """
 
     def __init__(self, network: Network, *,
@@ -63,7 +68,10 @@ class SwitchPointerDeployment:
                  skew_of: Optional[Callable[[str], float]] = None,
                  rpc: Optional[RpcFabric] = None,
                  latency_model: Optional[LatencyModel] = None,
-                 enforce_commodity_limit: bool = False):
+                 enforce_commodity_limit: bool = False,
+                 records_per_host: Optional[int] = None,
+                 record_shards: int = 1,
+                 ingest_batch: int = 1):
         self.network = network
         self.alpha_ms = alpha_ms
         self.k = k
@@ -106,7 +114,10 @@ class SwitchPointerDeployment:
             clock = EpochClock(alpha_ms, skew_s=skew(name))
             self.host_agents[name] = HostAgent(
                 host, clock=clock, planner=self.planner,
-                estimator=self.estimator)
+                estimator=self.estimator,
+                max_records=records_per_host,
+                record_shards=record_shards,
+                ingest_batch=ingest_batch)
 
         rpc_fabric = rpc if rpc is not None else RpcFabric(latency_model)
         self.analyzer = Analyzer(
@@ -143,3 +154,18 @@ class SwitchPointerDeployment:
 
     def total_pointer_memory_bits(self) -> int:
         return sum(dp.store.memory_bits for dp in self.datapaths.values())
+
+    def record_stats(self) -> dict[str, int]:
+        """Aggregate host record-table counters (sweep measurements)."""
+        peak = total = evicted = spilled = 0
+        for agent in self.host_agents.values():
+            # drain any batched-ingest buffer first: hosts the analyzer
+            # never queried would otherwise under-report their footprint
+            agent.flush_ingest()
+            store = agent.store
+            peak = max(peak, store.peak_records)
+            total += len(store)
+            evicted += store.evicted
+            spilled += store.spilled
+        return {"peak_records": peak, "total_records": total,
+                "evicted_records": evicted, "spilled_records": spilled}

@@ -1,6 +1,7 @@
 """SwitchPointer end-host component (PathDump extended, §4.2)."""
 
-from .records import FlowRecord, FlowRecordStore
+from .records import FlowRecord, FlowRecordStore, SeqCounter
+from .sharded import ShardedRecordStore
 from .decoder import TelemetryDecoder
 from .triggers import (SwitchEpochTuple, TcpTimeoutTrigger,
                        ThroughputDropTrigger, VictimAlert,
@@ -10,10 +11,12 @@ from .agent import HostAgent
 from . import aggregate
 
 __all__ = [
-    "FlowRecord", "FlowRecordStore",
+    "FlowRecord", "FlowRecordStore", "SeqCounter",
+    "ShardedRecordStore",
     "TelemetryDecoder",
     "ThroughputDropTrigger", "TcpTimeoutTrigger", "VictimAlert",
     "SwitchEpochTuple", "alert_tuples_from_record",
     "QueryEngine", "QueryResult", "FlowSummary",
     "HostAgent",
+    "aggregate",
 ]

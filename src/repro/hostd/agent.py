@@ -24,26 +24,62 @@ from ..switchd.cherrypick import CherryPickPlanner
 from .decoder import TelemetryDecoder
 from .query import QueryEngine
 from .records import FlowRecordStore
-from .triggers import (AlertSink, TcpTimeoutTrigger, ThroughputDropTrigger,
-                       VictimAlert)
+from .sharded import ShardedRecordStore
+from .triggers import AlertSink, TcpTimeoutTrigger, ThroughputDropTrigger
 
 
 class HostAgent:
-    """The SwitchPointer daemon running on one end-host."""
+    """The SwitchPointer daemon running on one end-host.
+
+    Parameters
+    ----------
+    max_records:
+        Memory bound on the record table (None = unbounded).
+    record_shards:
+        >1 swaps the flat :class:`FlowRecordStore` for a
+        :class:`~repro.hostd.sharded.ShardedRecordStore` with that many
+        shards (query-equivalent; sublinear maintenance at sweep scale).
+    ingest_batch:
+        >1 buffers that many sniffed packets and decodes them in one
+        go with the store's eviction check deferred to the batch end.
+        Queries are unaffected: the query engine flushes the buffer
+        before serving (``before_query``), so results always reflect
+        every packet sniffed so far.
+    """
 
     def __init__(self, host: Host, *, clock: EpochClock,
                  planner: CherryPickPlanner,
                  estimator: EpochRangeEstimator,
-                 spill_path: Optional[Path] = None):
+                 spill_path: Optional[Path] = None,
+                 max_records: Optional[int] = None,
+                 record_shards: int = 1,
+                 ingest_batch: int = 1):
+        if ingest_batch < 1:
+            raise ValueError("ingest_batch must be >= 1")
         self.host = host
         self.clock = clock
-        self.store = FlowRecordStore(host.name, spill_path=spill_path)
+        self.ingest_batch = ingest_batch
+        self._pending: list[tuple[Host, object, float]] = []
+        if record_shards > 1:
+            self.store = ShardedRecordStore(
+                host.name, spill_path=spill_path,
+                max_records=max_records, n_shards=record_shards)
+        else:
+            self.store = FlowRecordStore(host.name, spill_path=spill_path,
+                                         max_records=max_records)
+        # every read-side consumer — query engine, triggers, analyzer
+        # apps reading agent.store directly — sees a flushed table
+        self.store.before_read = self.flush_ingest
         self.decoder = TelemetryDecoder(self.store, clock, planner,
                                         estimator)
-        self.query = QueryEngine(self.store)
+        self.query = QueryEngine(self.store,
+                                 before_query=self.flush_ingest)
         self.triggers: list[ThroughputDropTrigger] = []
         self.timeout_triggers: list[TcpTimeoutTrigger] = []
-        host.sniffers.append(self.decoder.on_packet)
+        if ingest_batch > 1:
+            host.sniffers.append(self._buffer_packet)
+        else:
+            host.sniffers.append(self.decoder.on_packet)
 
     @property
     def name(self) -> str:
@@ -52,6 +88,26 @@ class HostAgent:
     @property
     def sim(self) -> Simulator:
         return self.host.sim
+
+    # -- batched ingestion ---------------------------------------------------
+
+    def _buffer_packet(self, host: Host, pkt, now: float) -> None:
+        self._pending.append((host, pkt, now))
+        if len(self._pending) >= self.ingest_batch:
+            self.flush_ingest()
+
+    def flush_ingest(self) -> int:
+        """Decode every buffered packet (one deferred eviction check)."""
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        self.store.begin_batch()
+        try:
+            for host, pkt, now in batch:
+                self.decoder.on_packet(host, pkt, now)
+        finally:
+            self.store.end_batch()
+        return len(batch)
 
     # -- trigger management -------------------------------------------------
 
@@ -88,4 +144,5 @@ class HostAgent:
 
     def flush_records(self) -> int:
         """Spill in-memory records to local storage (MongoDB stand-in)."""
+        self.flush_ingest()
         return self.store.flush_to_disk()

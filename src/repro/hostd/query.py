@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..core.epoch import EpochRange
 from ..simnet.packet import FlowKey
@@ -137,12 +137,30 @@ class FlowSummary:
                 f"bytes_by_epoch={self.bytes_by_epoch!r})")
 
 
-class QueryEngine:
-    """Executes analyzer queries against one host's record store."""
+def _topk_key(rec: FlowRecord) -> tuple:
+    # nsmallest on (-bytes, flow) == "largest bytes, flow tiebreak",
+    # bit-for-bit the order full-sorting produced
+    return (-rec.bytes, rec.flow)
 
-    def __init__(self, store: FlowRecordStore):
+
+class QueryEngine:
+    """Executes analyzer queries against one host's record store.
+
+    ``before_query``, when set, runs at the start of every query — the
+    host agent uses it to flush its batched-ingest buffer so queries
+    always observe every packet sniffed so far.
+    """
+
+    def __init__(self, store: FlowRecordStore,
+                 before_query: Optional[Callable[[], None]] = None):
         self.store = store
+        self.before_query = before_query
         self.queries_served = 0
+
+    def _begin(self) -> None:
+        self.queries_served += 1
+        if self.before_query is not None:
+            self.before_query()
 
     def _scan(self, switch: Optional[str],
               epochs: Optional[EpochRange]) -> tuple[list[FlowRecord], int]:
@@ -155,16 +173,20 @@ class QueryEngine:
         """The ``k`` largest flows (by bytes) seen through ``switch``.
 
         Selection runs on a size-``k`` heap (O(m log k)) and only the
-        winners are summarized — the losers are never materialized.
+        winners are summarized — the losers are never materialized.  On
+        a sharded store the per-shard winners are merged directly
+        (:meth:`ShardedRecordStore.topk_through`), skipping the global
+        creation-order merge a plain scan would pay for.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
-        self.queries_served += 1
-        matches, scanned = self._scan(switch, epochs)
-        # nsmallest on (-bytes, flow) == "largest bytes, flow tiebreak",
-        # bit-for-bit the order full-sorting produced
-        top = heapq.nsmallest(k, matches,
-                              key=lambda r: (-r.bytes, r.flow))
+        self._begin()
+        topk = getattr(self.store, "topk_through", None)
+        if switch is not None and topk is not None:
+            top, scanned = topk(k, _topk_key, switch, epochs)
+        else:
+            matches, scanned = self._scan(switch, epochs)
+            top = heapq.nsmallest(k, matches, key=_topk_key)
         payload = [FlowSummary.of(r) for r in top]
         return QueryResult(payload=payload, records_scanned=scanned,
                            records_returned=len(payload))
@@ -178,7 +200,7 @@ class QueryEngine:
         used, which is exactly what the §5.4 imbalance diagnosis
         compares across interfaces.
         """
-        self.queries_served += 1
+        self._begin()
         matches, scanned = self._scan(switch, epochs)
         dist: dict[str, list[int]] = {}
         for rec in matches:
@@ -197,7 +219,7 @@ class QueryEngine:
 
     def all_flows(self) -> QueryResult:
         """Every record on this host (path-conformance sweeps)."""
-        self.queries_served += 1
+        self._begin()
         payload = [FlowSummary.of(r) for r in self.store]
         return QueryResult(payload=payload,
                            records_scanned=len(self.store),
@@ -206,7 +228,7 @@ class QueryEngine:
     def flows_matching(self, switch: str,
                        epochs: Optional[EpochRange] = None) -> QueryResult:
         """All flows whose headers match the (switchID, epochID) filter."""
-        self.queries_served += 1
+        self._begin()
         matches, scanned = self._scan(switch, epochs)
         payload = [FlowSummary.of(r) for r in matches]
         return QueryResult(payload=payload, records_scanned=scanned,
@@ -214,7 +236,7 @@ class QueryEngine:
 
     def flow_details(self, flow: FlowKey) -> QueryResult:
         """Telemetry for one flow (None payload when unknown here)."""
-        self.queries_served += 1
+        self._begin()
         rec = self.store.get(flow)
         payload = FlowSummary.of(rec) if rec else None
         return QueryResult(payload=payload, records_scanned=1,

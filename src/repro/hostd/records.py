@@ -34,7 +34,7 @@ import json
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..core.epoch import EpochRange
 from ..simnet.packet import FlowKey
@@ -144,10 +144,35 @@ def _record_seq(rec: "FlowRecord") -> int:
     return rec._seq
 
 
-def _staleness(rec: FlowRecord) -> float:
+class SeqCounter:
+    """Monotonic record-creation counter, shareable across stores.
+
+    Query results are ordered by record-creation sequence; a
+    :class:`~repro.hostd.sharded.ShardedRecordStore` hands one counter
+    to all of its shards so the merged order equals the order a single
+    flat store would have produced.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0):
+        self.value = start
+
+    def take(self) -> int:
+        v = self.value
+        self.value += 1
+        return v
+
+
+def _staleness(rec: FlowRecord) -> tuple[float, int]:
     # a record with no observation yet is the one being created right
-    # now — never the eviction victim
-    return rec.last_seen if rec.last_seen is not None else float("inf")
+    # now — never the eviction victim.  Ties on last_seen (simultaneous
+    # delivery events are common) break by creation sequence, which
+    # keeps flat and sharded stores choosing identical victims: the
+    # flat store's candidate order is already seq order, the sharded
+    # store's is shard-grouped, so the tie-break must be explicit.
+    t = rec.last_seen if rec.last_seen is not None else float("inf")
+    return (t, rec._seq)
 
 
 class FlowRecordStore:
@@ -166,7 +191,8 @@ class FlowRecordStore:
 
     def __init__(self, host_name: str,
                  spill_path: Optional[Path] = None,
-                 max_records: Optional[int] = None):
+                 max_records: Optional[int] = None,
+                 seq_counter: Optional[SeqCounter] = None):
         if max_records is not None and max_records < 1:
             raise ValueError("max_records must be >= 1")
         self.host_name = host_name
@@ -179,20 +205,49 @@ class FlowRecordStore:
         #: switchID -> ([lo epochs], [(lo, seq, record)]) sorted cache
         self._sorted: dict[str, tuple[list[int],
                                       list[tuple[int, int, FlowRecord]]]] = {}
-        self._next_seq = 0
+        self._seq = seq_counter if seq_counter is not None else SeqCounter()
+        self._deferring = False
+        #: Optional hook run before any read-side entry point (`get`,
+        #: `scan_through`, ...).  The host agent points it at its
+        #: batched-ingest flush so *every* consumer — query engine,
+        #: triggers, analyzer apps reading ``agent.store`` directly —
+        #: observes a table that has seen all sniffed packets.
+        self.before_read: Optional[Callable[[], object]] = None
+        self.peak_records = 0
         self.spilled = 0
         self.evicted = 0
 
     def record_for(self, flow: FlowKey) -> FlowRecord:
         rec = self._records.get(flow)
         if rec is None:
-            rec = FlowRecord(flow=flow, _store=self, _seq=self._next_seq)
-            self._next_seq += 1
+            rec = FlowRecord(flow=flow, _store=self,
+                             _seq=self._seq.take())
             self._records[flow] = rec
-            if (self.max_records is not None
+            if len(self._records) > self.peak_records:
+                self.peak_records = len(self._records)
+            if (self.max_records is not None and not self._deferring
                     and len(self._records) > self.max_records):
                 self._evict()
         return rec
+
+    # -- batched ingestion ---------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Defer eviction checks until :meth:`end_batch`.
+
+        Batched ingestion (``hostd.agent``) folds many decoded packets
+        into records back-to-back; checking the memory bound once per
+        batch instead of once per packet is what makes the bound
+        affordable at thousand-host sweep scale.  ``peak_records`` still
+        observes the within-batch high-water mark.
+        """
+        self._deferring = True
+
+    def end_batch(self) -> None:
+        self._deferring = False
+        if (self.max_records is not None
+                and len(self._records) > self.max_records):
+            self._evict()
 
     def ingest(self, flow: FlowKey, *, nbytes: int, t: float,
                priority: int, switch_path: list[str],
@@ -255,6 +310,17 @@ class FlowRecordStore:
             return
         victims = heapq.nsmallest(excess, self._records.values(),
                                   key=_staleness)
+        self._drop_records(victims, spill=spill)
+
+    def _drop_records(self, victims: list[FlowRecord], *,
+                      spill: bool = True) -> None:
+        """Spill (optionally) then unindex+drop the given records.
+
+        Shared by the local eviction policy above and by
+        :class:`~repro.hostd.sharded.ShardedRecordStore`, whose global
+        memory bound picks victims across shards and hands each shard
+        its share — the index bookkeeping is identical either way.
+        """
         if spill and self.spill_path is not None:
             self.spill_path.parent.mkdir(parents=True, exist_ok=True)
             with self.spill_path.open("a", encoding="utf-8") as fh:
@@ -266,7 +332,12 @@ class FlowRecordStore:
             self._unindex_record(rec)
             self.evicted += 1
 
+    def _notify_read(self) -> None:
+        if self.before_read is not None:
+            self.before_read()
+
     def get(self, flow: FlowKey) -> Optional[FlowRecord]:
+        self._notify_read()
         return self._records.get(flow)
 
     def __len__(self) -> int:
@@ -298,6 +369,7 @@ class FlowRecordStore:
         model charges: the size of the index bucket actually inspected,
         not the size of the whole table.
         """
+        self._notify_read()
         bucket = self._by_switch.get(switch)
         if not bucket:
             return [], 0
@@ -363,18 +435,26 @@ class FlowRecordStore:
                 line = line.strip()
                 if not line:
                     continue
-                rec = FlowRecord.from_json(json.loads(line))
-                prev = store._records.get(rec.flow)
-                if prev is not None:
-                    # a later spill of the same flow supersedes the
-                    # earlier one, keeping its position in the table
-                    store._unindex_record(prev)
-                    rec._seq = prev._seq
-                else:
-                    rec._seq = store._next_seq
-                    store._next_seq += 1
-                store._records[rec.flow] = rec
-                store._index_record(rec)
+                store._adopt_json_line(line)
+        store.peak_records = max(store.peak_records, len(store._records))
         if max_records is not None:
             store._evict(spill=False)
         return store
+
+    def _adopt_json_line(self, line: str) -> None:
+        """Replay one spill-file line into the table (reload path)."""
+        self._adopt_record(FlowRecord.from_json(json.loads(line)))
+
+    def _adopt_record(self, rec: FlowRecord) -> bool:
+        """Adopt a deserialized record; True when its flow is new here."""
+        prev = self._records.get(rec.flow)
+        if prev is not None:
+            # a later spill of the same flow supersedes the
+            # earlier one, keeping its position in the table
+            self._unindex_record(prev)
+            rec._seq = prev._seq
+        else:
+            rec._seq = self._seq.take()
+        self._records[rec.flow] = rec
+        self._index_record(rec)
+        return prev is None

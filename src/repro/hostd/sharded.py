@@ -1,0 +1,305 @@
+"""Sharded end-host record storage for thousand-host scale sweeps.
+
+:class:`ShardedRecordStore` splits one host's flow-record table into
+``n_shards`` :class:`~repro.hostd.records.FlowRecordStore` shards keyed
+by the flow's *source host* (a stable CRC of the name, so placement is
+reproducible across processes — sweep workers must agree with the parent
+run).  Each shard keeps the existing per-switch inverted index; queries
+merge shard results back into global record-creation order, and top-k
+selection merges per-shard heaps instead of sorting the union.
+
+Why shard at all in a single-process simulator: the flat store's
+per-switch sorted-bucket rebuilds and index maintenance walk whole
+buckets, O(records at the switch on the host).  At sweep scale
+(thousands of hosts × thousands of records) those walks dominate;
+shards bound them to the records in one shard's bucket, and top-k
+selection merges per-shard heaps instead of seq-sorting the union.
+(Eviction victim *selection* stays global — the memory bound is a
+whole-host property — but drops are applied shard-locally.)  The
+shared sequence counter keeps every query result byte-identical to the
+flat store's (the equivalence the property suite checks).
+
+Invariants mirrored from the flat store:
+
+* the global memory bound (``max_records``) is enforced across shards —
+  victims are the globally stalest records, wherever they live;
+* all shards append to the *same* spill file, and
+  :meth:`ShardedRecordStore.load_from_disk` replays it with the same
+  supersede semantics (later spill of a flow keeps the earlier seq);
+* iteration and every query return records in global creation order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import zlib
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from ..core.epoch import EpochRange
+from ..simnet.packet import FlowKey
+from .records import FlowRecord, FlowRecordStore, SeqCounter, _record_seq, _staleness
+
+DEFAULT_SHARDS = 8
+
+
+def shard_of(flow: FlowKey, n_shards: int) -> int:
+    """Stable shard placement: CRC32 of the flow's source host name."""
+    return zlib.crc32(flow.src.encode("utf-8")) % n_shards
+
+
+class ShardedRecordStore:
+    """Per-host record table sharded by flow source, flat-store-equivalent.
+
+    Drop-in for :class:`FlowRecordStore` everywhere the host agent and
+    query engine touch it: same ingest entry points, same query methods,
+    same spill/reload semantics, same counters.
+    """
+
+    def __init__(
+        self,
+        host_name: str,
+        spill_path: Optional[Path] = None,
+        max_records: Optional[int] = None,
+        n_shards: int = DEFAULT_SHARDS,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.host_name = host_name
+        self.spill_path = Path(spill_path) if spill_path else None
+        self.max_records = max_records
+        self.n_shards = n_shards
+        self._seq = SeqCounter()
+        # shards are unbounded: the *global* bound below picks victims
+        self.shards = tuple(
+            FlowRecordStore(
+                f"{host_name}/shard{i}",
+                spill_path=self.spill_path,
+                max_records=None,
+                seq_counter=self._seq,
+            )
+            for i in range(n_shards)
+        )
+        self._count = 0
+        self._deferring = False
+        #: Read-side hook, same contract as
+        #: :attr:`FlowRecordStore.before_read` (set on the parent store
+        #: only; shards are internal and never read directly).
+        self.before_read: Optional[Callable[[], object]] = None
+        self.peak_records = 0
+        self._spilled_direct = 0
+
+    # -- ingest ----------------------------------------------------------------
+
+    def _shard_for(self, flow: FlowKey) -> FlowRecordStore:
+        return self.shards[shard_of(flow, self.n_shards)]
+
+    def record_for(self, flow: FlowKey) -> FlowRecord:
+        shard = self._shard_for(flow)
+        before = len(shard._records)
+        rec = shard.record_for(flow)
+        if len(shard._records) != before:
+            self._count += 1
+            if self._count > self.peak_records:
+                self.peak_records = self._count
+            if (
+                self.max_records is not None
+                and not self._deferring
+                and self._count > self.max_records
+            ):
+                self._evict()
+        return rec
+
+    def ingest(
+        self,
+        flow: FlowKey,
+        *,
+        nbytes: int,
+        t: float,
+        priority: int,
+        switch_path: list[str],
+        ranges: dict[str, EpochRange],
+        observed_epoch: Optional[int],
+    ) -> FlowRecord:
+        """One decoded packet → record update (decoder entry point)."""
+        rec = self.record_for(flow)
+        rec.observe(
+            nbytes=nbytes,
+            t=t,
+            priority=priority,
+            switch_path=switch_path,
+            ranges=ranges,
+            observed_epoch=observed_epoch,
+        )
+        return rec
+
+    def begin_batch(self) -> None:
+        """Defer the global eviction check until :meth:`end_batch`."""
+        self._deferring = True
+
+    def end_batch(self) -> None:
+        self._deferring = False
+        if self.max_records is not None and self._count > self.max_records:
+            self._evict()
+
+    # -- eviction --------------------------------------------------------------
+
+    def _evict(self, *, spill: bool = True) -> None:
+        """Drop the globally stalest records until under the bound."""
+        assert self.max_records is not None
+        excess = self._count - self.max_records
+        if excess <= 0:
+            return
+        victims = heapq.nsmallest(
+            excess,
+            (rec for shard in self.shards for rec in shard._records.values()),
+            key=_staleness,
+        )
+        per_shard: dict[int, list[FlowRecord]] = {}
+        for rec in victims:
+            per_shard.setdefault(shard_of(rec.flow, self.n_shards), []).append(rec)
+        for idx, shard_victims in per_shard.items():
+            self.shards[idx]._drop_records(shard_victims, spill=spill)
+        self._count -= len(victims)
+
+    # -- lookup / iteration ----------------------------------------------------
+
+    def _notify_read(self) -> None:
+        if self.before_read is not None:
+            self.before_read()
+
+    def get(self, flow: FlowKey) -> Optional[FlowRecord]:
+        self._notify_read()
+        return self._shard_for(flow).get(flow)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        """All records, in global creation order (merged by seq)."""
+        return heapq.merge(
+            *(iter(shard._records.values()) for shard in self.shards),
+            key=_record_seq,
+        )
+
+    @property
+    def spilled(self) -> int:
+        return self._spilled_direct + sum(s.spilled for s in self.shards)
+
+    @property
+    def evicted(self) -> int:
+        return sum(s.evicted for s in self.shards)
+
+    # -- the §3 header filter --------------------------------------------------
+
+    def flows_through(
+        self, switch: str, epochs: Optional[EpochRange] = None
+    ) -> list[FlowRecord]:
+        """Records whose path crossed ``switch`` (in ``epochs``, if given)."""
+        return self.scan_through(switch, epochs)[0]
+
+    def scan_through(
+        self, switch: str, epochs: Optional[EpochRange] = None
+    ) -> tuple[list[FlowRecord], int]:
+        """Per-shard indexed scans, merged back into creation order."""
+        self._notify_read()
+        scanned = 0
+        per_shard: list[list[FlowRecord]] = []
+        for shard in self.shards:
+            matches, cost = shard.scan_through(switch, epochs)
+            scanned += cost
+            if matches:
+                per_shard.append(matches)
+        if not per_shard:
+            return [], scanned
+        if len(per_shard) == 1:
+            return per_shard[0], scanned
+        return list(heapq.merge(*per_shard, key=_record_seq)), scanned
+
+    def topk_through(
+        self,
+        k: int,
+        key: Callable[[FlowRecord], object],
+        switch: str,
+        epochs: Optional[EpochRange] = None,
+    ) -> tuple[list[FlowRecord], int]:
+        """Merged top-k across shards: per-shard heaps, then a k-way final.
+
+        Equivalent to ``nsmallest(k, flows_through(...))`` because ``key``
+        totally orders records (ties broken by flow), but never builds or
+        seq-sorts the union — the winners of each shard are enough.
+        """
+        self._notify_read()
+        scanned = 0
+        candidates: list[FlowRecord] = []
+        for shard in self.shards:
+            matches, cost = shard.scan_through(switch, epochs)
+            scanned += cost
+            candidates.extend(heapq.nsmallest(k, matches, key=key))
+        return heapq.nsmallest(k, candidates, key=key), scanned
+
+    def linear_flows_through(
+        self, switch: str, epochs: Optional[EpochRange] = None
+    ) -> list[FlowRecord]:
+        """Reference O(N) scan (equivalence oracle, not the query path)."""
+        out = []
+        for rec in self:
+            rng = rec.epochs_at(switch)
+            if rng is None:
+                continue
+            if epochs is not None and not rng.intersects(epochs):
+                continue
+            out.append(rec)
+        return out
+
+    # -- MongoDB-substitute spill ----------------------------------------------
+
+    def flush_to_disk(self) -> int:
+        """Append all in-memory records (creation order) to the spill file."""
+        if self.spill_path is None:
+            raise RuntimeError("no spill path configured")
+        self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.spill_path.open("a", encoding="utf-8") as fh:
+            for rec in self:
+                fh.write(json.dumps(rec.to_json()) + "\n")
+                self._spilled_direct += 1
+        return self.spilled
+
+    @classmethod
+    def load_from_disk(
+        cls,
+        host_name: str,
+        spill_path: Path,
+        *,
+        max_records: Optional[int] = None,
+        n_shards: int = DEFAULT_SHARDS,
+    ) -> "ShardedRecordStore":
+        """Rebuild a sharded store from a (flat or sharded) spill file.
+
+        Replays lines in file order with the flat store's supersede
+        semantics — a later spill of a flow keeps the earlier one's
+        position — then applies the global memory bound without
+        re-appending to the file being read, exactly like
+        :meth:`FlowRecordStore.load_from_disk`.
+        """
+        store = cls(
+            host_name,
+            spill_path=spill_path,
+            max_records=max_records,
+            n_shards=n_shards,
+        )
+        with Path(spill_path).open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = FlowRecord.from_json(json.loads(line))
+                if store._shard_for(rec.flow)._adopt_record(rec):
+                    store._count += 1
+        store.peak_records = max(store.peak_records, store._count)
+        if max_records is not None:
+            store._evict(spill=False)
+        return store

@@ -19,6 +19,7 @@ from ..deployment import SwitchPointerDeployment
 from ..simnet.packet import PRIO_LOW, FlowKey
 from ..simnet.topology import Network, build_linear
 from ..simnet.traffic import UdpCbrSource, UdpSink
+from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
 
 
@@ -64,6 +65,12 @@ class GrayFailureScenario(Scenario):
             "rate_mbps": Knob(2.0, "per-flow CBR rate (Mbit/s)"),
             "alpha_ms": Knob(10, "epoch duration α (ms)"),
             "k": Knob(2, "pointer hierarchy depth"),
+            "records_per_host": Knob(0, "hostd record-table bound "
+                                        "(0 = unbounded)"),
+            "record_shards": Knob(1, "record-store shards per host "
+                                     "agent (>1 = sharded store)"),
+            "ingest_batch": Knob(1, "sniffed packets decoded per "
+                                    "ingest batch"),
         },
         aliases=("silent-drop",),
         smoke_knobs={"n_flows": 2, "duration": 0.040},
@@ -77,9 +84,12 @@ class GrayFailureScenario(Scenario):
             raise ValueError(
                 f"fault_switch must be one of "
                 f"{sorted(net.switches)}, got {p['fault_switch']!r}")
-        deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
-                                         k=p["k"], epsilon_ms=1,
-                                         delta_ms=2)
+        deploy = SwitchPointerDeployment(
+            net, alpha_ms=p["alpha_ms"], k=p["k"], epsilon_ms=1,
+            delta_ms=2,
+            records_per_host=p["records_per_host"] or None,
+            record_shards=p["record_shards"],
+            ingest_batch=p["ingest_batch"])
         self.network, self.deployment = net, deploy
 
         self.affected: list[FlowKey] = []
@@ -133,3 +143,25 @@ class GrayFailureScenario(Scenario):
         return [diagnose_gray_failure(analyzer, flow,
                                       silence_epochs=self.silence_epochs)
                 for flow in self.affected]
+
+
+register_sweep(SweepSpec(
+    scenario="gray-failure",
+    summary="blackhole localization as concurrent flows (and record "
+            "tables) scale",
+    expect_problem="gray-failure",
+    # diagnose_gray_failure reports problem="gray-failure" even when
+    # localization finds nothing — a point only counts as correct when
+    # a verdict names the injected switch
+    expect_suspect_knob="fault_switch",
+    axes={
+        "flows": "n_flows",
+        "records": "records_per_host",
+        "alpha_ms": "alpha_ms",
+        "shards": "record_shards",
+        "batch": "ingest_batch",
+    },
+    default_grid={"flows": (4, 16, 64)},
+    nightly_grid={"flows": (4, 16)},
+    base_knobs={"record_shards": 4, "ingest_batch": 8},
+))

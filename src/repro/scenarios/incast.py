@@ -18,8 +18,10 @@ from ..deployment import SwitchPointerDeployment
 from ..hostd.triggers import VictimAlert
 from ..simnet.packet import PRIO_LOW, FlowKey
 from ..simnet.stats import ThroughputProbe
-from ..simnet.topology import Network, build_leaf_spine
+from ..simnet.topology import (Network, build_fat_tree_for_hosts,
+                               build_leaf_spine)
 from ..simnet.traffic import TcpTimedFlow, UdpCbrSource, UdpSink
+from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
 from .common import GBPS
 
@@ -44,13 +46,20 @@ class IncastResult:
 
 @register
 class IncastScenario(Scenario):
-    """N-to-1 synchronized senders on a leaf-spine fabric.
+    """N-to-1 synchronized senders converging on one receiver.
 
-    The receiver ``h0_0`` sits behind ``leaf0`` with default shallow
-    (256 KB) FIFO port buffers; the victim TCP flow and all ``n_senders``
-    burst flows originate behind ``leaf1``.  At ``burst_start`` every
-    sender transmits at line rate simultaneously — the leaf0→h0_0
-    downlink queue overflows and the victim collapses.
+    The receiver sits behind its last-hop switch with default shallow
+    (256 KB) FIFO port buffers; the victim TCP flow and all
+    ``n_senders`` burst flows originate behind other switches.  At
+    ``burst_start`` every sender transmits at line rate simultaneously —
+    the receiver's downlink queue overflows and the victim collapses.
+
+    The ``hosts`` knob sizes the fabric for scale sweeps: 0 keeps the
+    historical minimal two-leaf topology; any larger count builds a
+    leaf-spine (or, with ``fabric=fat-tree``, a multi-pod fat-tree) of
+    that many hosts — the active flows stay the same, what scales is the
+    population every SwitchPointer layer (directory, pointer stores,
+    host agents) has to carry.
     """
 
     spec = ScenarioSpec(
@@ -68,36 +77,105 @@ class IncastScenario(Scenario):
             "min_fan_in": Knob(3, "culprits needed to call it incast"),
             "alpha_ms": Knob(10, "epoch duration α (ms)"),
             "k": Knob(3, "pointer hierarchy depth"),
+            "hosts": Knob(0, "total fabric hosts (0 = minimal fabric "
+                             "for n_senders)"),
+            "fabric": Knob("leaf-spine",
+                           "fabric family: leaf-spine or fat-tree"),
+            "records_per_host": Knob(0, "hostd record-table bound "
+                                        "(0 = unbounded)"),
+            "record_shards": Knob(1, "record-store shards per host "
+                                     "agent (>1 = sharded store)"),
+            "ingest_batch": Knob(1, "sniffed packets decoded per "
+                                    "ingest batch"),
         },
         smoke_knobs={"n_senders": 4, "duration": 0.025,
                      "burst_start": 0.008},
     )
+
+    def _build_fabric(self) -> Network:
+        """Size the fabric from the ``hosts``/``fabric`` knobs."""
+        p = self.p
+        n = p["n_senders"]
+        want = p["hosts"]
+        if p["fabric"] == "fat-tree":
+            # the receiver's edge switch absorbs up to hosts_per_edge
+            # hosts, which don't count toward the n+1 remote endpoints
+            # the workload needs — grow the population until enough
+            # hosts land outside that edge (converges in a few steps:
+            # each retry adds at least the remaining deficit)
+            size = max(want, 2 * (n + 1))
+            for _ in range(8):
+                net = build_fat_tree_for_hosts(size, rate_bps=GBPS)
+                receiver = net.host_names[0]
+                graph = net.graph()
+                edge = next(nb for nb in graph.neighbors(receiver)
+                            if nb in net.switches)
+                remote = sum(1 for h in net.host_names
+                             if h != receiver and edge not in graph[h])
+                if remote >= n + 1:
+                    break
+                size += (n + 1) - remote
+        elif p["fabric"] == "leaf-spine":
+            if want <= 0:
+                # the historical minimal shape: receiver behind leaf0,
+                # victim source + senders behind leaf1
+                return build_leaf_spine(n_leaves=2, n_spines=2,
+                                        hosts_per_leaf=n + 1,
+                                        rate_bps=GBPS)
+            n_leaves = max(2, min(64, -(-want // 64)))
+            per_leaf = max(n + 1, -(-want // n_leaves))
+            net = build_leaf_spine(n_leaves=n_leaves,
+                                   n_spines=max(2, n_leaves // 4),
+                                   hosts_per_leaf=per_leaf,
+                                   rate_bps=GBPS)
+        else:
+            raise ValueError(
+                f"fabric must be leaf-spine or fat-tree, "
+                f"got {p['fabric']!r}")
+        return net
 
     def build(self) -> None:
         p = self.p
         n = p["n_senders"]
         # default (shallow, 256 KB) FIFO queues: incast needs buffer
         # overflow at the downlink, not priority starvation
-        net = build_leaf_spine(n_leaves=2, n_spines=2,
-                               hosts_per_leaf=n + 1, rate_bps=GBPS)
-        deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
-                                         k=p["k"])
+        net = self._build_fabric()
+        deploy = SwitchPointerDeployment(
+            net, alpha_ms=p["alpha_ms"], k=p["k"],
+            records_per_host=p["records_per_host"] or None,
+            record_shards=p["record_shards"],
+            ingest_batch=p["ingest_batch"])
         self.network, self.deployment = net, deploy
-        self.receiver = "h0_0"
-        self.convergence_switch = "leaf0"
+        self.receiver = net.host_names[0]
+        # the receiver's last-hop switch is where the fan-in converges
+        graph = net.graph()
+        self.convergence_switch = next(
+            nb for nb in graph.neighbors(self.receiver)
+            if nb in net.switches)
+        # victim source + burst senders live behind *other* switches so
+        # every flow crosses the fabric into the receiver's downlink
+        remote = [h for h in net.host_names
+                  if h != self.receiver
+                  and self.convergence_switch not in graph[h]]
+        if len(remote) < n + 1:
+            raise ValueError(
+                f"fabric too small: {len(remote)} hosts outside the "
+                f"receiver's switch, need {n + 1} "
+                f"(n_senders + victim source)")
+        victim_src, senders = remote[0], remote[1:n + 1]
 
         self.tput = ThroughputProbe(window=0.001)
         self.victim_app = TcpTimedFlow(
-            net.sim, net.hosts["h1_0"], net.hosts[self.receiver],
+            net.sim, net.hosts[victim_src], net.hosts[self.receiver],
             duration=p["duration"], sport=100, dport=200,
             priority=PRIO_LOW, on_payload=self.tput.on_packet)
         self.victim = self.victim_app.sender.flow
         self.trigger = deploy.watch_flow(self.victim)
 
-        # the synchronized responders: h1_1..h1_n all answer h0_0 at once
-        for j in range(1, n + 1):
+        # the synchronized responders all answer the receiver at once
+        for j, sender in enumerate(senders, start=1):
             UdpSink(net.hosts[self.receiver], 7000 + j)
-            UdpCbrSource(net.sim, net.hosts[f"h1_{j}"], self.receiver,
+            UdpCbrSource(net.sim, net.hosts[sender], self.receiver,
                          sport=7000 + j, dport=7000 + j, rate_bps=GBPS,
                          priority=PRIO_LOW, start=p["burst_start"],
                          duration=p["burst_duration"])
@@ -109,8 +187,9 @@ class IncastScenario(Scenario):
     def collect(self) -> dict:
         p = self.p
         net = self.network
-        leaf0 = net.switches["leaf0"]
-        downlink = net.link_between("leaf0", self.receiver).iface_of(leaf0)
+        leaf = net.switches[self.convergence_switch]
+        downlink = net.link_between(self.convergence_switch,
+                                    self.receiver).iface_of(leaf)
         self.payload = IncastResult(
             n_senders=p["n_senders"], deployment=self.deployment,
             network=net, victim=self.victim, throughput=self.tput,
@@ -123,6 +202,8 @@ class IncastScenario(Scenario):
             downlink_queue_drops=downlink.queue.stats.dropped)
         return {
             "alerts": len(self.payload.alerts),
+            "fabric_hosts": len(net.hosts),
+            "fabric_switches": len(net.switches),
             "tcp_timeouts": self.payload.tcp_timeouts,
             "downlink_queue_drops": self.payload.downlink_queue_drops,
             "victim_rate_at_burst_gbps": round(
@@ -135,3 +216,23 @@ class IncastScenario(Scenario):
             return []
         return [diagnose_incast(self.deployment.analyzer, alerts[0],
                                 min_fan_in=self.p["min_fan_in"])]
+
+
+register_sweep(SweepSpec(
+    scenario="incast",
+    summary="fan-in collapse diagnosed at fabric populations from 64 "
+            "to 4096 hosts",
+    expect_problem="incast",
+    axes={
+        "hosts": "hosts",
+        "records": "records_per_host",
+        "alpha_ms": "alpha_ms",
+        "senders": "n_senders",
+        "shards": "record_shards",
+        "batch": "ingest_batch",
+        "fabric": "fabric",
+    },
+    default_grid={"hosts": (64, 256, 1024, 4096)},
+    nightly_grid={"hosts": (64, 256, 1024)},
+    base_knobs={"record_shards": 8, "ingest_batch": 16},
+))

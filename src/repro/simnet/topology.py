@@ -24,7 +24,6 @@ import networkx as nx
 
 from .engine import AlternatingTimer, Simulator
 from .link import Link, Node
-from .packet import Packet
 from .queues import PacketQueue
 from .device import Switch
 from .host import Host
@@ -191,24 +190,49 @@ class Network:
         shortest *live* path toward the destination contributes one
         candidate egress interface.  Down links contribute nothing, so
         re-running this after a link event models routing reconvergence.
+
+        Cost is O(S·E) BFS plus O(H · Σ switch-degree) rule installs —
+        distances are only ever needed *from switches* (hosts never
+        forward: a host neighbor qualifies as next hop exactly when it
+        is the destination itself, one dict probe), which is what keeps
+        multi-thousand-host fabrics buildable in seconds where the old
+        all-pairs × all-links scan took minutes.
         """
         g = self.live_graph()
-        dist = dict(nx.all_pairs_shortest_path_length(g))
+        dist = {name: nx.single_source_shortest_path_length(g, name)
+                for name in self.switches}
+        # per-switch live links in global creation order, so the ECMP
+        # candidate order is identical to the previous all-links scan
+        to_switch: dict[str, list[tuple[str, Link]]] = \
+            {name: [] for name in self.switches}
+        to_host: dict[str, dict[str, list[Link]]] = \
+            {name: {} for name in self.switches}
+        for link in self.links:
+            if not link.up:
+                continue
+            for node, peer in ((link.a, link.b), (link.b, link.a)):
+                if node.name not in self.switches:
+                    continue
+                if peer.name in self.switches:
+                    to_switch[node.name].append((peer.name, link))
+                else:
+                    to_host[node.name].setdefault(peer.name,
+                                                  []).append(link)
         for sw_name, sw in self.switches.items():
             sw.clear_routes()
+            d_sw = dist[sw_name]
+            host_links = to_host[sw_name]
+            switch_links = to_switch[sw_name]
             for dst in self.hosts:
-                if dst == sw_name:
-                    continue
-                d_here = dist[sw_name].get(dst)
+                d_here = d_sw.get(dst)
                 if d_here is None:
                     continue
-                for link in self.links:
-                    if not link.up:
-                        continue
-                    if sw_name not in (link.a.name, link.b.name):
-                        continue
-                    peer = link.peer_of(sw)
-                    if dist[peer.name].get(dst) == d_here - 1:
+                if d_here == 1:
+                    for link in host_links.get(dst, ()):
+                        sw.install_route(dst, link.iface_of(sw))
+                    continue
+                for peer, link in switch_links:
+                    if dist[peer].get(dst) == d_here - 1:
                         sw.install_route(dst, link.iface_of(sw))
 
     def set_link_state(self, a: str, b: str, up: bool, *,
@@ -361,19 +385,33 @@ def build_leaf_spine(n_leaves: int = 4, n_spines: int = 2,
 def build_fat_tree(k: int = 4, *, rate_bps: float = 1e9,
                    queue_factory: Optional[QueueFactory] = None,
                    sim: Optional[Simulator] = None,
-                   hosts_per_edge: Optional[int] = None) -> Network:
+                   hosts_per_edge: Optional[int] = None,
+                   n_pods: Optional[int] = None,
+                   total_hosts: Optional[int] = None) -> Network:
     """k-ary fat-tree (k even): k pods, k²/4 cores, k/2 hosts per edge.
 
     Node names: ``core{c}``, ``agg{p}_{a}``, ``edge{p}_{e}``,
     ``h{p}_{e}_{i}`` — pod p, position within pod, host index.
+
+    ``n_pods`` overrides the classic pod count (each pod is k/2 aggs ×
+    k/2 edges regardless, and agg position ``a`` of every pod uplinks
+    to core group ``a``, so any pod count ≥ 1 stays CherryPick-pinnable
+    — one agg-core link still fixes the inter-pod path).
+    ``total_hosts`` caps how many hosts are attached overall (the last
+    edges are left short/empty), letting sweeps hit exact populations.
     """
     if k < 2 or k % 2 != 0:
         raise TopologyError("fat-tree arity k must be even and >= 2")
+    pods = k if n_pods is None else n_pods
+    if pods < 1:
+        raise TopologyError("fat-tree needs at least one pod")
     net = Network(sim)
     half = k // 2
     n_hosts_edge = half if hosts_per_edge is None else hosts_per_edge
     cores = [net.add_switch(f"core{c}") for c in range(half * half)]
-    for p in range(k):
+    hosts_left = (pods * half * n_hosts_edge
+                  if total_hosts is None else total_hosts)
+    for p in range(pods):
         aggs = [net.add_switch(f"agg{p}_{a}") for a in range(half)]
         edges = [net.add_switch(f"edge{p}_{e}") for e in range(half)]
         for a, agg in enumerate(aggs):
@@ -385,9 +423,40 @@ def build_fat_tree(k: int = 4, *, rate_bps: float = 1e9,
                 net.connect(agg, cores[c], rate_bps=rate_bps,
                             queue_factory=queue_factory)
         for e, edge in enumerate(edges):
-            for i in range(n_hosts_edge):
+            for i in range(min(n_hosts_edge, hosts_left)):
                 host = net.add_host(f"h{p}_{e}_{i}")
                 net.connect(host, edge, rate_bps=rate_bps,
                             queue_factory=queue_factory)
+            hosts_left -= min(n_hosts_edge, hosts_left)
     net.compute_routes()
     return net
+
+
+def build_fat_tree_for_hosts(n_hosts: int, *, k: int = 8,
+                             max_pods: Optional[int] = None,
+                             rate_bps: float = 1e9,
+                             queue_factory: Optional[QueueFactory] = None,
+                             sim: Optional[Simulator] = None) -> Network:
+    """A multi-pod fat-tree sized from the host count (scale sweeps).
+
+    Keeps the switching fabric fixed at arity ``k`` and grows along two
+    axes: pods first (up to ``max_pods``, default the classic bound k),
+    then hosts per edge — so a 64-host and a 4096-host point share the
+    same fabric shape and differ only in population, which is exactly
+    what the thousand-host sweeps need (switch count stays O(k²) while
+    hosts scale).  Attaches exactly ``n_hosts`` hosts.
+    """
+    if n_hosts < 1:
+        raise TopologyError("need at least one host")
+    if k < 2 or k % 2 != 0:
+        raise TopologyError("fat-tree arity k must be even and >= 2")
+    half = k // 2
+    pod_budget = k if max_pods is None else max_pods
+    if pod_budget < 1:
+        raise TopologyError("max_pods must be >= 1")
+    hosts_per_edge = max(half, -(-n_hosts // (pod_budget * half)))
+    n_pods = min(pod_budget, -(-n_hosts // (half * hosts_per_edge)))
+    return build_fat_tree(k, rate_bps=rate_bps,
+                          queue_factory=queue_factory, sim=sim,
+                          hosts_per_edge=hosts_per_edge, n_pods=n_pods,
+                          total_hosts=n_hosts)

@@ -16,9 +16,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Iterator
 
-from .engine import Simulator
 from .host import Host
 from .packet import FlowKey, Packet, make_udp
 from .topology import Network

@@ -18,11 +18,9 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from .engine import Simulator
-from .host import Host
 from .packet import DEFAULT_MTU, PRIO_LOW, FlowKey
 from .topology import Network
 from .traffic import UdpCbrSource, UdpSink

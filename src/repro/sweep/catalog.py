@@ -1,0 +1,108 @@
+"""Render ``docs/SWEEPS.md`` from the sweep registry metadata.
+
+Same one-source-of-truth idiom as the scenario catalogue: the page and
+``python -m repro.cli sweep list`` render identical
+:class:`~repro.sweep.registry.SweepSpec` objects.  Refresh with::
+
+    python tools/gen_sweep_docs.py
+
+A tier-1 test (and the CI docs job) asserts the checked-in page matches
+this renderer's output.
+"""
+
+from __future__ import annotations
+
+from .registry import SWEEPS, SweepSpec
+from .report import SCHEMA
+
+_PREAMBLE = """\
+# Scale sweeps
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with: python tools/gen_sweep_docs.py -->
+
+A *sweep* executes one registered scenario across a parameter grid —
+the thousand-host scale axis the single-run scenario catalogue
+([SCENARIOS.md](SCENARIOS.md)) does not cover.  Run one with
+
+```sh
+python -m repro.cli sweep run <scenario> [--grid axis=v1,v2,...] ...
+```
+
+and list the registered sweeps with `python -m repro.cli sweep list`.
+
+## Grid syntax
+
+Each repeated `--grid` flag names one axis and its comma-separated
+values (`--grid hosts=64,256,1024 --grid alpha_ms=5,10`); values are
+coerced to bool/int/float/str.  The sweep runs the cartesian product of
+all axes in row-major order (last axis fastest).  Axes are declared per
+sweep (tables below) and bind to scenario knobs; anything not on an
+axis can still be pinned for every point with `--knob key=value`.
+
+## Worker model and seeds
+
+Grid points are independent experiments: they execute in
+`multiprocessing` workers (`--workers N`, default = CPU count capped at
+the point count; `1` = inline, no pool).  Every point derives a stable
+seed from `(base seed, point index)` via CRC32, applied before the
+scenario builds — so any point reproduces bit-for-bit, regardless of
+worker count or completion order, by replaying its recorded `knobs`
+and `seed` from the report:
+`python -m repro.cli run <scenario> --seed <seed> --knob key=value ...`
+
+## Report schema (`{schema}`)
+
+`sweep run` writes one JSON document (default `results/sweep_<scenario>.json`):
+
+| field | meaning |
+|---|---|
+| `schema` | schema id, currently `{schema}` |
+| `scenario`, `expect_problem` | what ran and the verdict that counts as correct |
+| `base_seed`, `workers`, `grid` | reproduction identity |
+| `points[]` | one entry per grid point (below) |
+| `summary` | point/ok/error counts, max peak records, total wall time |
+
+Each point carries `index`, `params` (axis values), `knobs` (resolved
+scenario knobs), `seed`, `ok` / `diagnosis_ok`, `problems` / `suspects`
+(analyzer verdicts), `wall_time_s` + per-phase `phase_s`, `sim_time_s`,
+`peak_records` / `total_records` / `evicted_records` (host record-table
+footprint), scenario `measurements`, and `error` (null unless the point
+raised).  `repro.sweep.validate_report` checks the structure; the CI
+benchmark-regression gate (`tools/check_bench_regression.py`) validates
+before trusting any number.
+"""
+
+
+def _spec_markdown(spec: SweepSpec) -> str:
+    lines = [f"## `{spec.scenario}`", "", spec.summary, ""]
+    lines.append(f"- **Scenario:** `{spec.scenario}` (see SCENARIOS.md)")
+    correct = f"`{spec.expect_problem}`"
+    if spec.expect_suspect_knob:
+        correct += f" naming the `{spec.expect_suspect_knob}` knob's value"
+    lines.append(f"- **Correct diagnosis:** {correct}")
+    if spec.base_knobs:
+        pinned = ", ".join(f"`{k}={v!r}`" for k, v in sorted(spec.base_knobs.items()))
+        lines.append(f"- **Pinned knobs:** {pinned}")
+    if spec.nightly_grid:
+        nightly = " ".join(
+            f"{axis}={','.join(str(v) for v in values)}"
+            for axis, values in spec.nightly_grid.items()
+        )
+        lines.append(f"- **Nightly grid:** `{nightly}`")
+    lines.append(f"- **Run:** `{spec.cli_example}`")
+    lines.append("")
+    lines.append("| axis | binds knob | default grid |")
+    lines.append("|---|---|---|")
+    for axis, knob in spec.axes.items():
+        values = spec.default_grid.get(axis)
+        shown = ",".join(str(v) for v in values) if values else "(not swept)"
+        lines.append(f"| `{axis}` | `{knob}` | `{shown}` |")
+    return "\n".join(lines) + "\n"
+
+
+def sweeps_markdown() -> str:
+    """The full ``docs/SWEEPS.md`` body."""
+    sections = [_PREAMBLE.replace("{schema}", SCHEMA)]
+    sections.extend(_spec_markdown(spec) for spec in SWEEPS.specs())
+    return "\n".join(sections)

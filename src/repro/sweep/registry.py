@@ -1,0 +1,160 @@
+"""Sweep registry: which scenarios sweep, along which axes.
+
+A :class:`SweepSpec` is declared *next to the scenario it exercises*
+(same module, same registration idiom as the scenario registry of PR 2):
+
+    from ..sweep import SweepSpec, register_sweep
+
+    register_sweep(SweepSpec(
+        scenario="incast",
+        summary="fan-in collapse from 64 to 4096 fabric hosts",
+        expect_problem="incast",
+        axes={"hosts": "hosts", "records": "records_per_host"},
+        default_grid={"hosts": (64, 256, 1024)},
+        ...
+    ))
+
+Axes are *names on the grid command line* bound to scenario knobs; the
+indirection keeps sweep vocabulary uniform (``hosts``, ``records``,
+``alpha_ms``) even where scenarios name their knobs differently.  The
+CLI ``sweep`` command and the generated ``docs/SWEEPS.md`` catalogue
+both render these specs — one source of truth, like scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from .grid import GridError
+
+
+class SweepError(Exception):
+    """Raised for registry misuse or invalid sweep parameters."""
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Sweep metadata for one scenario.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario-registry name this sweep executes (also the sweep's
+        own registry key — one sweep per scenario).
+    summary:
+        One-line description (CLI ``sweep list``, docs catalogue).
+    expect_problem:
+        The ``Verdict.problem`` a correct point must report; per-point
+        ``diagnosis_ok`` in the report is exactly "some verdict matched".
+    expect_suspect_knob:
+        Optional name of a scenario knob whose (resolved) value must
+        also appear among the verdict suspects — e.g. gray-failure's
+        ``fault_switch``.  Without it, a diagnosis that names the right
+        problem but localizes nothing would still count as correct.
+    axes:
+        Grid-axis name → scenario knob it binds.
+    default_grid:
+        Axis → value tuple used when ``--grid`` is not given.
+    nightly_grid:
+        Reduced grid for the scheduled CI run and the smoke benchmark.
+    base_knobs:
+        Fixed knob overrides applied to every point (e.g. a shortened
+        run duration so thousand-host points stay tractable).
+    """
+
+    scenario: str
+    summary: str
+    expect_problem: str
+    axes: dict[str, str]
+    default_grid: dict[str, tuple[Any, ...]]
+    nightly_grid: dict[str, tuple[Any, ...]] = field(default_factory=dict)
+    base_knobs: dict[str, Any] = field(default_factory=dict)
+    expect_suspect_knob: Optional[str] = None
+
+    def knobs_for(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Resolve one grid point's axis values into scenario knobs."""
+        knobs = dict(self.base_knobs)
+        for axis, value in params.items():
+            knob = self.axes.get(axis)
+            if knob is None:
+                raise GridError(
+                    f"unknown axis {axis!r} for sweep {self.scenario!r}; "
+                    f"valid: {', '.join(sorted(self.axes))}"
+                )
+            knobs[knob] = value
+        return knobs
+
+    @property
+    def cli_example(self) -> str:
+        grid = " ".join(
+            f"--grid {axis}={','.join(str(v) for v in values)}"
+            for axis, values in self.default_grid.items()
+        )
+        return f"python -m repro.cli sweep run {self.scenario} {grid}"
+
+
+def _load_declarations() -> None:
+    """Import the scenario package, which registers every sweep.
+
+    Sweeps are declared next to their scenarios, so a consumer that
+    imported only :mod:`repro.sweep` (benchmarks, tools) would otherwise
+    see an empty registry.  Deferred to first lookup — never module
+    scope — because scenario modules import this package to register.
+    """
+    from .. import scenarios  # noqa: F401
+
+
+class SweepRegistry:
+    """Scenario name → sweep-spec registry."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, SweepSpec] = {}
+
+    def register(self, spec: SweepSpec) -> SweepSpec:
+        if spec.scenario in self._specs:
+            raise SweepError(f"duplicate sweep for scenario {spec.scenario!r}")
+        if not spec.default_grid:
+            raise SweepError(f"sweep {spec.scenario!r} needs a default grid")
+        for grid_name in ("default_grid", "nightly_grid"):
+            for axis in getattr(spec, grid_name):
+                if axis not in spec.axes:
+                    raise SweepError(
+                        f"sweep {spec.scenario!r}: {grid_name} axis "
+                        f"{axis!r} is not declared in axes"
+                    )
+        self._specs[spec.scenario] = spec
+        return spec
+
+    def get(self, scenario: str) -> SweepSpec:
+        _load_declarations()
+        try:
+            return self._specs[scenario]
+        except KeyError:
+            raise SweepError(
+                f"no sweep registered for {scenario!r}; "
+                f"known: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> list[str]:
+        _load_declarations()
+        return sorted(self._specs)
+
+    def specs(self) -> list[SweepSpec]:
+        return [self._specs[name] for name in self.names()]
+
+    def __contains__(self, scenario: str) -> bool:
+        _load_declarations()
+        return scenario in self._specs
+
+    def __len__(self) -> int:
+        _load_declarations()
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+#: The process-wide registry scenario modules register sweeps into.
+SWEEPS = SweepRegistry()
+register_sweep = SWEEPS.register

@@ -1,0 +1,223 @@
+"""Machine-readable sweep results: :class:`SweepReport` and its schema.
+
+One sweep run produces one JSON document (written under ``results/``)
+that CI can archive and diff run-over-run: per-point wall time, peak
+records, and diagnosis correctness, plus enough identity (scenario,
+grid, seeds, knobs) to reproduce any point as a single run.
+
+The schema is versioned through the ``schema`` field and checked by
+:func:`validate_report` — a hand-rolled structural validator (no
+third-party schema dependency) used by the CLI on write, by the
+integration tests, and by ``tools/check_bench_regression.py`` before it
+trusts a document's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+SCHEMA = "switchpointer.sweep-report/v1"
+
+#: required per-point fields → allowed JSON types
+_POINT_FIELDS: dict[str, tuple[type, ...]] = {
+    "index": (int,),
+    "params": (dict,),
+    "knobs": (dict,),
+    "seed": (int,),
+    "ok": (bool,),
+    "diagnosis_ok": (bool,),
+    "problems": (list,),
+    "suspects": (list,),
+    "wall_time_s": (int, float),
+    "phase_s": (dict,),
+    "sim_time_s": (int, float),
+    "peak_records": (int,),
+    "total_records": (int,),
+    "evicted_records": (int,),
+    "measurements": (dict,),
+    "error": (str, type(None)),
+}
+
+_TOP_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema": (str,),
+    "scenario": (str,),
+    "expect_problem": (str,),
+    "base_seed": (int,),
+    "workers": (int,),
+    "grid": (dict,),
+    "points": (list,),
+    "summary": (dict,),
+}
+
+
+@dataclass
+class PointResult:
+    """Outcome of one grid point (one scenario execution)."""
+
+    index: int
+    params: dict[str, Any]
+    knobs: dict[str, Any]
+    seed: int
+    diagnosis_ok: bool = False
+    problems: list[str] = field(default_factory=list)
+    suspects: list[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    phase_s: dict[str, float] = field(default_factory=dict)
+    sim_time_s: float = 0.0
+    peak_records: int = 0
+    total_records: int = 0
+    evicted_records: int = 0
+    measurements: dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Point verdict: ran to completion and diagnosed correctly."""
+        return self.error is None and self.diagnosis_ok
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "params": dict(self.params),
+            "knobs": dict(self.knobs),
+            "seed": self.seed,
+            "ok": self.ok,
+            "diagnosis_ok": self.diagnosis_ok,
+            "problems": list(self.problems),
+            "suspects": list(self.suspects),
+            "wall_time_s": round(self.wall_time_s, 6),
+            "phase_s": {k: round(v, 6) for k, v in self.phase_s.items()},
+            "sim_time_s": round(self.sim_time_s, 9),
+            "peak_records": self.peak_records,
+            "total_records": self.total_records,
+            "evicted_records": self.evicted_records,
+            "measurements": dict(self.measurements),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "PointResult":
+        return cls(
+            index=doc["index"],
+            params=dict(doc["params"]),
+            knobs=dict(doc["knobs"]),
+            seed=doc["seed"],
+            diagnosis_ok=doc["diagnosis_ok"],
+            problems=list(doc["problems"]),
+            suspects=list(doc["suspects"]),
+            wall_time_s=doc["wall_time_s"],
+            phase_s=dict(doc["phase_s"]),
+            sim_time_s=doc["sim_time_s"],
+            peak_records=doc["peak_records"],
+            total_records=doc["total_records"],
+            evicted_records=doc["evicted_records"],
+            measurements=dict(doc["measurements"]),
+            error=doc["error"],
+        )
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep run produced, JSON-serializable."""
+
+    scenario: str
+    expect_problem: str
+    base_seed: int
+    workers: int
+    grid: dict[str, list[Any]]
+    points: list[PointResult] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "points": len(self.points),
+            "ok": sum(1 for p in self.points if p.ok),
+            "diagnosis_failures": sum(
+                1 for p in self.points if p.error is None and not p.diagnosis_ok
+            ),
+            "errors": sum(1 for p in self.points if p.error is not None),
+            "max_peak_records": max((p.peak_records for p in self.points), default=0),
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+    @property
+    def all_ok(self) -> bool:
+        return all(p.ok for p in self.points)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "scenario": self.scenario,
+            "expect_problem": self.expect_problem,
+            "base_seed": self.base_seed,
+            "workers": self.workers,
+            "grid": {axis: list(vals) for axis, vals in self.grid.items()},
+            "points": [p.to_json() for p in self.points],
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "SweepReport":
+        report = cls(
+            scenario=doc["scenario"],
+            expect_problem=doc["expect_problem"],
+            base_seed=doc["base_seed"],
+            workers=doc["workers"],
+            grid={axis: list(vals) for axis, vals in doc["grid"].items()},
+            points=[PointResult.from_json(p) for p in doc["points"]],
+            wall_time_s=doc["summary"]["wall_time_s"],
+        )
+        return report
+
+
+def _type_name(types: tuple[type, ...]) -> str:
+    return "/".join("null" if t is type(None) else t.__name__ for t in types)
+
+
+def validate_report(doc: Any) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = valid).
+
+    ``bool`` is deliberately rejected where ``int`` is expected (bool is
+    an int subclass in Python, but not in the JSON schema sense).
+    """
+
+    def bad_type(value: Any, types: tuple[type, ...]) -> bool:
+        if isinstance(value, bool) and bool not in types:
+            return True
+        return not isinstance(value, types)
+
+    if not isinstance(doc, dict):
+        return [f"report must be an object, got {type(doc).__name__}"]
+    errors = []
+    for name, types in _TOP_FIELDS.items():
+        if name not in doc:
+            errors.append(f"missing field {name!r}")
+        elif bad_type(doc[name], types):
+            errors.append(f"field {name!r} must be {_type_name(types)}")
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA:
+        return [f"unknown schema {doc['schema']!r} (expected {SCHEMA!r})"]
+    for axis, values in doc["grid"].items():
+        if not isinstance(values, list) or not values:
+            errors.append(f"grid axis {axis!r} must be a non-empty list")
+    for i, point in enumerate(doc["points"]):
+        if not isinstance(point, dict):
+            errors.append(f"points[{i}] must be an object")
+            continue
+        for name, types in _POINT_FIELDS.items():
+            if name not in point:
+                errors.append(f"points[{i}] missing field {name!r}")
+            elif bad_type(point[name], types):
+                errors.append(f"points[{i}].{name} must be {_type_name(types)}")
+    indices = [p.get("index") for p in doc["points"] if isinstance(p, dict)]
+    if indices and indices != list(range(len(indices))):
+        errors.append("point indices must be 0..n-1 in order")
+    summary = doc["summary"]
+    if isinstance(summary.get("points"), int):
+        if summary["points"] != len(doc["points"]):
+            errors.append("summary.points disagrees with len(points)")
+    else:
+        errors.append("summary.points must be int")
+    return errors

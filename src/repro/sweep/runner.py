@@ -1,0 +1,199 @@
+"""The sweep runner: a parameter grid × a scenario, in parallel.
+
+:class:`Sweep` expands a grid (``grid.py``) against a registered
+:class:`~repro.sweep.registry.SweepSpec`, executes every point through
+the four-phase scenario protocol, and aggregates the outcomes into one
+:class:`~repro.sweep.report.SweepReport`.
+
+Execution model: grid points are independent experiments, so they run
+in ``multiprocessing`` workers (forked where available, spawned
+otherwise), one point per task, results streamed back as they finish.
+Each point gets a stable per-point seed (``grid.point_seed``) applied
+before the scenario builds, so any point can be reproduced as a single
+run — ``cli run <scenario> --seed <point seed> --knob ...`` with the
+point's recorded knobs — bit-for-bit, which is what the sweep
+integration test asserts.  ``workers=1`` runs points inline in-process
+(no pool), the right mode for tests and one-core CI runners.
+
+Workers return plain :class:`PointResult` payloads — never the network
+or deployment objects, which are both huge and unpicklable at
+thousand-host scale.  A point that raises is reported as an errored
+point (``error`` set, ``ok`` false); it never takes the sweep down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Optional
+
+from .grid import GridError, expand_grid, point_seed
+from .registry import SweepSpec
+from .report import PointResult, SweepReport
+
+DEFAULT_BASE_SEED = 1729
+
+#: (scenario, knobs, seed, expect_problem, expect_suspect, index, params)
+_PointPayload = tuple[str, dict, int, str, Optional[str], int, dict]
+
+
+def execute_point(payload: _PointPayload) -> PointResult:
+    """Run one grid point; the multiprocessing task function."""
+    scenario, knobs, seed, expect_problem, expect_suspect, index, params = payload
+    result = PointResult(index=index, params=params, knobs=knobs, seed=seed)
+    random.seed(seed)
+    start = time.perf_counter()
+    try:
+        # imported here so pool workers (and spawn children) pull in the
+        # scenario registry themselves, and so this module never imports
+        # scenarios at module scope (scenario modules import the sweep
+        # registry to declare their sweeps)
+        from ..scenarios import run_scenario
+
+        outcome = run_scenario(scenario, **knobs)
+    except Exception as exc:  # noqa: BLE001 - a point must never kill the sweep
+        result.error = f"{type(exc).__name__}: {exc}"
+        result.wall_time_s = time.perf_counter() - start
+        return result
+    result.wall_time_s = time.perf_counter() - start
+    result.phase_s = dict(outcome.timings)
+    result.sim_time_s = outcome.sim_time
+    result.problems = [v.problem for v in outcome.verdicts]
+    result.suspects = [v.suspect for v in outcome.verdicts if v.suspect]
+    result.diagnosis_ok = expect_problem in result.problems and (
+        expect_suspect is None or expect_suspect in result.suspects
+    )
+    result.measurements = dict(outcome.measurements)
+    if outcome.deployment is not None:
+        stats = outcome.deployment.record_stats()
+        result.peak_records = stats["peak_records"]
+        result.total_records = stats["total_records"]
+        result.evicted_records = stats["evicted_records"]
+    return result
+
+
+def default_workers(n_points: int) -> int:
+    return max(1, min(n_points, os.cpu_count() or 1))
+
+
+class Sweep:
+    """One scenario swept across a parameter grid."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        grid: Optional[dict[str, list[Any]]] = None,
+        *,
+        workers: Optional[int] = None,
+        base_seed: int = DEFAULT_BASE_SEED,
+        extra_knobs: Optional[dict[str, Any]] = None,
+    ):
+        self.spec = spec
+        self.grid = (
+            {axis: list(vals) for axis, vals in spec.default_grid.items()}
+            if grid is None
+            else grid
+        )
+        self.base_seed = base_seed
+        self.extra_knobs = dict(extra_knobs or {})
+        swept = {spec.axes[axis] for axis in self.grid if axis in spec.axes}
+        clash = swept & set(self.extra_knobs)
+        if clash:
+            raise GridError(
+                f"--knob would silently override swept axis knob(s) "
+                f"{sorted(clash)}; drop the knob or the axis"
+            )
+        self.params = expand_grid(self.grid)
+        self.workers = default_workers(len(self.params)) if workers is None else workers
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        # resolve every point's knobs up front: an unknown axis fails
+        # the whole sweep before any point has burned wall time
+        self.payloads: list[_PointPayload] = []
+        for index, params in enumerate(self.params):
+            knobs = spec.knobs_for(params)
+            knobs.update(self.extra_knobs)
+            self.payloads.append(
+                (
+                    spec.scenario,
+                    knobs,
+                    point_seed(base_seed, index),
+                    spec.expect_problem,
+                    self._expect_suspect(knobs),
+                    index,
+                    params,
+                )
+            )
+
+    def _expect_suspect(self, knobs: dict[str, Any]) -> Optional[str]:
+        """The suspect a correct point must name, if the spec demands one.
+
+        Resolved from the point's knobs, falling back to the scenario's
+        declared default — a sweep never overrides the fault site
+        without the expectation following it.
+        """
+        knob = self.spec.expect_suspect_knob
+        if knob is None:
+            return None
+        if knob in knobs:
+            return knobs[knob]
+        from ..scenarios import REGISTRY
+
+        return REGISTRY.get(self.spec.scenario).spec.knobs[knob].default
+
+    def run(
+        self,
+        on_point: Optional[Callable[[PointResult], None]] = None,
+    ) -> SweepReport:
+        """Execute every point; ``on_point`` observes results as they land."""
+        start = time.perf_counter()
+        points: list[PointResult] = []
+        if self.workers == 1 or len(self.payloads) <= 1:
+            for payload in self.payloads:
+                result = execute_point(payload)
+                points.append(result)
+                if on_point is not None:
+                    on_point(result)
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            # ProcessPoolExecutor (not multiprocessing.Pool) so a worker
+            # killed outright — OOM, signal — surfaces as
+            # BrokenProcessPool on its future instead of hanging the
+            # sweep forever; the dead worker's point (and any aborted
+            # with it) becomes an errored point like any other failure
+            with ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            ) as pool:
+                futures = {
+                    pool.submit(execute_point, payload): payload
+                    for payload in self.payloads
+                }
+                for future in as_completed(futures):
+                    try:
+                        result = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        _, knobs, seed, _, _, index, params = futures[future]
+                        result = PointResult(
+                            index=index,
+                            params=params,
+                            knobs=knobs,
+                            seed=seed,
+                            error=f"worker died: {type(exc).__name__}: {exc}",
+                        )
+                    points.append(result)
+                    if on_point is not None:
+                        on_point(result)
+        points.sort(key=lambda p: p.index)
+        return SweepReport(
+            scenario=self.spec.scenario,
+            expect_problem=self.spec.expect_problem,
+            base_seed=self.base_seed,
+            workers=self.workers,
+            grid=self.grid,
+            points=points,
+            wall_time_s=time.perf_counter() - start,
+        )

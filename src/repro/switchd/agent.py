@@ -18,8 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.epoch import EpochClock
-from ..core.pointer import (HierarchicalPointerStore, PointerSet,
-                            PointerSnapshot)
+from ..core.pointer import HierarchicalPointerStore, PointerSnapshot
 from ..simnet.engine import PeriodicTimer, Simulator
 from .rules import RuleTable
 

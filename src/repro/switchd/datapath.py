@@ -25,7 +25,7 @@ from typing import Optional
 from ..core.epoch import EpochClock
 from ..core.headers import IntStack, VlanDoubleTag, VLAN_ID_MODULUS
 from ..core.mphf import MinimalPerfectHash
-from ..core.pointer import HierarchicalPointerStore, PointerSnapshot
+from ..core.pointer import HierarchicalPointerStore
 from ..simnet.device import Switch
 from ..simnet.link import Interface
 from ..simnet.packet import Packet

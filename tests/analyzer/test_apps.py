@@ -181,7 +181,7 @@ class TestDiagnoseLoadImbalance:
         # without override
         net = res.network
         net.switches["S1"].forwarding_override = None
-        from repro.simnet.traffic import UdpCbrSource, UdpSink
+        from repro.simnet.traffic import UdpCbrSource
         for i in range(8):
             UdpCbrSource(net.sim, net.hosts[f"tx{i}"], f"rx{i}",
                          sport=7001, dport=7000, rate_bps=2e9,

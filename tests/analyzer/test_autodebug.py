@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analyzer.autodebug import AutoDebugger, Incident
+from repro.analyzer.autodebug import AutoDebugger
 from repro.core.epoch import EpochRange
 from repro.hostd.triggers import SwitchEpochTuple, VictimAlert
 from repro.scenarios import run_cascades_scenario, run_contention_scenario

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.innetwork import PortCounterMonitor, SampledNetFlow
-from repro.simnet.packet import PRIO_HIGH, make_udp
+from repro.simnet.packet import PRIO_HIGH
 from repro.simnet.topology import build_linear
 from repro.simnet.traffic import UdpCbrSource, UdpSink
 

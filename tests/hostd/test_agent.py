@@ -1,12 +1,10 @@
 """Unit tests for the host agent wiring."""
 
-import pytest
-
 from repro.core.epoch import EpochClock, EpochRangeEstimator
 from repro.core.mphf import HostDirectory
 from repro.core.pointer import HierarchicalPointerStore
 from repro.hostd.agent import HostAgent
-from repro.simnet.packet import PRIO_HIGH, PROTO_UDP, make_udp
+from repro.simnet.packet import make_udp
 from repro.simnet.tcp import open_tcp_flow
 from repro.simnet.topology import build_linear
 from repro.switchd.cherrypick import CherryPickPlanner

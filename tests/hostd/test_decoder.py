@@ -1,13 +1,11 @@
 """Unit tests for destination-side telemetry decoding."""
 
-import pytest
-
 from repro.core.epoch import EpochClock, EpochRangeEstimator
 from repro.core.mphf import HostDirectory
 from repro.core.pointer import HierarchicalPointerStore
 from repro.hostd.decoder import TelemetryDecoder
 from repro.hostd.records import FlowRecordStore
-from repro.simnet.packet import PROTO_UDP, make_udp
+from repro.simnet.packet import make_udp
 from repro.simnet.topology import build_fat_tree, build_linear
 from repro.switchd.cherrypick import CherryPickPlanner
 from repro.switchd.datapath import (MODE_INT, MODE_VLAN,

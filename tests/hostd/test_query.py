@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.epoch import EpochRange
-from repro.hostd.query import FlowSummary, QueryEngine
+from repro.hostd.query import QueryEngine
 from repro.hostd.records import FlowRecordStore
 from repro.simnet.packet import FlowKey, PROTO_TCP, PROTO_UDP
 

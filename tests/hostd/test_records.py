@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.epoch import EpochRange
 from repro.hostd.records import FlowRecord, FlowRecordStore
-from repro.simnet.packet import FlowKey, PROTO_TCP, PROTO_UDP
+from repro.simnet.packet import FlowKey, PROTO_TCP
 
 
 def key(i=0, proto=PROTO_TCP):

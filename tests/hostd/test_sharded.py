@@ -1,0 +1,180 @@
+"""ShardedRecordStore: placement, global ordering, eviction, spill."""
+
+import json
+
+import pytest
+
+from repro.core.epoch import EpochRange
+from repro.hostd.query import QueryEngine
+from repro.hostd.records import FlowRecordStore
+from repro.hostd.sharded import ShardedRecordStore, shard_of
+from repro.simnet.packet import FlowKey, PROTO_UDP
+
+
+def flow_key(i: int) -> FlowKey:
+    return FlowKey(f"s{i}", "dst", 1000 + i, 9, PROTO_UDP)
+
+
+def ingest(store, i, *, t, switches=("S1",), lo=0, nbytes=100):
+    ranges = {sw: EpochRange(lo, lo + 1) for sw in switches}
+    store.ingest(flow_key(i), nbytes=nbytes, t=t, priority=0,
+                 switch_path=list(switches), ranges=ranges,
+                 observed_epoch=lo)
+
+
+class TestPlacement:
+    def test_shard_of_is_stable(self):
+        assert shard_of(flow_key(3), 8) == shard_of(flow_key(3), 8)
+
+    def test_records_spread_across_shards(self):
+        store = ShardedRecordStore("h", n_shards=4)
+        for i in range(64):
+            ingest(store, i, t=0.001 * i)
+        occupied = sum(1 for s in store.shards if len(s))
+        assert occupied > 1
+        assert len(store) == 64
+
+    def test_same_flow_same_shard_same_record(self):
+        store = ShardedRecordStore("h", n_shards=4)
+        ingest(store, 1, t=0.001)
+        ingest(store, 1, t=0.002)
+        assert len(store) == 1
+        rec = store.get(flow_key(1))
+        assert rec is not None and rec.packets == 2
+
+    def test_single_shard_degenerates_cleanly(self):
+        store = ShardedRecordStore("h", n_shards=1)
+        for i in range(8):
+            ingest(store, i, t=0.001 * i)
+        assert len(store) == 8
+        assert len(store.shards[0]) == 8
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedRecordStore("h", n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedRecordStore("h", max_records=0)
+
+
+class TestGlobalOrdering:
+    def test_iteration_in_creation_order(self):
+        store = ShardedRecordStore("h", n_shards=4)
+        for i in range(32):
+            ingest(store, i, t=0.001 * i)
+        seqs = [rec._seq for rec in store]
+        assert seqs == sorted(seqs)
+        assert [rec.flow for rec in store] == [flow_key(i)
+                                               for i in range(32)]
+
+    def test_flows_through_matches_flat_store(self):
+        flat = FlowRecordStore("h")
+        sharded = ShardedRecordStore("h", n_shards=4)
+        for i in range(48):
+            sw = ("S1", "S2") if i % 3 else ("S2",)
+            for store in (flat, sharded):
+                ingest(store, i, t=0.001 * i, switches=sw, lo=i % 7)
+        for sw in ("S1", "S2", "S3"):
+            for win in (None, EpochRange(2, 4)):
+                a = [r.flow for r in flat.flows_through(sw, win)]
+                b = [r.flow for r in sharded.flows_through(sw, win)]
+                assert a == b
+
+    def test_topk_merge_matches_query_engine_on_flat(self):
+        flat = FlowRecordStore("h")
+        sharded = ShardedRecordStore("h", n_shards=4)
+        for i in range(48):
+            for store in (flat, sharded):
+                ingest(store, i, t=0.001 * i, nbytes=100 + (i * 37) % 500)
+        top_flat = QueryEngine(flat).top_k_flows(5, switch="S1")
+        top_sharded = QueryEngine(sharded).top_k_flows(5, switch="S1")
+        assert ([s._astuple() for s in top_flat.payload]
+                == [s._astuple() for s in top_sharded.payload])
+
+
+class TestEviction:
+    def test_global_bound_enforced(self):
+        store = ShardedRecordStore("h", n_shards=4, max_records=10)
+        for i in range(40):
+            ingest(store, i, t=0.001 * i)
+        assert len(store) == 10
+        assert store.evicted == 30
+        assert store.peak_records == 11  # bound + the insert that trips it
+
+    def test_evicts_globally_stalest_not_per_shard(self):
+        store = ShardedRecordStore("h", n_shards=4, max_records=8)
+        for i in range(16):
+            ingest(store, i, t=0.001 * i)
+        survivors = {rec.flow for rec in store}
+        # the 8 most recently seen flows survive, wherever they hash
+        assert survivors == {flow_key(i) for i in range(8, 16)}
+
+    def test_index_consistent_after_eviction(self):
+        store = ShardedRecordStore("h", n_shards=4, max_records=6)
+        for i in range(24):
+            ingest(store, i, t=0.001 * i, switches=("S1", "S2"))
+        live = {id(rec) for rec in store}
+        for sw in ("S1", "S2"):
+            for rec in store.flows_through(sw):
+                assert id(rec) in live
+
+    def test_deferred_eviction_batch(self):
+        store = ShardedRecordStore("h", n_shards=4, max_records=5)
+        store.begin_batch()
+        for i in range(20):
+            ingest(store, i, t=0.001 * i)
+        assert len(store) == 20  # bound deferred inside the batch
+        store.end_batch()
+        assert len(store) == 5
+        assert store.peak_records == 20
+
+
+class TestSpill:
+    def test_flush_and_reload_round_trip(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        store = ShardedRecordStore("h", spill_path=path, n_shards=4)
+        for i in range(24):
+            ingest(store, i, t=0.001 * i, switches=("S1", "S2"),
+                   lo=i % 5)
+        store.flush_to_disk()
+        again = ShardedRecordStore.load_from_disk("h", path, n_shards=4)
+        assert len(again) == 24
+        assert [r.flow for r in again] == [r.flow for r in store]
+        for sw in ("S1", "S2"):
+            assert ([r.flow for r in again.flows_through(sw)]
+                    == [r.flow for r in store.flows_through(sw)])
+
+    def test_reload_respects_bound_without_reappending(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        store = ShardedRecordStore("h", spill_path=path, n_shards=4)
+        for i in range(20):
+            ingest(store, i, t=0.001 * i)
+        store.flush_to_disk()
+        size_before = path.stat().st_size
+        again = ShardedRecordStore.load_from_disk(
+            "h", path, max_records=6, n_shards=4)
+        assert len(again) == 6
+        assert again.evicted == 14
+        assert path.stat().st_size == size_before
+
+    def test_eviction_spills_to_shared_file(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        store = ShardedRecordStore("h", spill_path=path, n_shards=4,
+                                   max_records=4)
+        for i in range(12):
+            ingest(store, i, t=0.001 * i)
+        assert store.spilled == 8
+        lines = [json.loads(line) for line in
+                 path.read_text(encoding="utf-8").splitlines()]
+        assert len(lines) == 8
+
+    def test_flat_spill_loads_into_sharded_store(self, tmp_path):
+        """A sharded store can adopt a flat store's spill file."""
+        path = tmp_path / "spill.jsonl"
+        flat = FlowRecordStore("h", spill_path=path)
+        for i in range(16):
+            ingest(flat, i, t=0.001 * i, switches=("S1",), lo=i % 3)
+        flat.flush_to_disk()
+        sharded = ShardedRecordStore.load_from_disk("h", path,
+                                                    n_shards=4)
+        assert ([r.flow for r in sharded]
+                == [r.flow for r in flat])

@@ -4,8 +4,8 @@ import pytest
 
 from repro.core.epoch import EpochClock, EpochRange
 from repro.hostd.records import FlowRecordStore
-from repro.hostd.triggers import (SwitchEpochTuple, TcpTimeoutTrigger,
-                                  ThroughputDropTrigger, VictimAlert,
+from repro.hostd.triggers import (TcpTimeoutTrigger,
+                                  ThroughputDropTrigger,
                                   alert_tuples_from_record)
 from repro.simnet.engine import Simulator
 from repro.simnet.packet import FlowKey, PROTO_TCP, make_tcp

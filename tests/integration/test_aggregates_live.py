@@ -5,7 +5,6 @@ import pytest
 from repro import SwitchPointerDeployment
 from repro.hostd import aggregate
 from repro.simnet import WorkloadGenerator, WorkloadSpec
-from repro.simnet.packet import make_udp
 from repro.simnet.topology import build_leaf_spine
 
 

@@ -7,7 +7,7 @@ from repro.core.epoch import EpochRange
 from repro.core.sizing import store_memory_bits
 from repro.simnet.packet import make_udp
 from repro.simnet.topology import build_fat_tree, build_linear
-from repro.switchd.datapath import MODE_INT, MODE_NONE
+from repro.switchd.datapath import MODE_INT
 
 
 class TestDeploymentWiring:

@@ -13,8 +13,6 @@ The paper's robustness arguments, made executable:
   packets that did arrive.
 """
 
-import pytest
-
 from repro import SwitchPointerDeployment
 from repro.core.epoch import EpochRange
 from repro.simnet.engine import Simulator
@@ -135,7 +133,8 @@ class TestLossyPath:
         """With a starved 1-packet queue many packets drop; every packet
         that *does* arrive decodes to the true path and a covering
         epoch range."""
-        qf = lambda: DropTailFIFO(capacity_bytes=3000)
+        def qf():
+            return DropTailFIFO(capacity_bytes=3000)
         net = build_linear(3, 1, queue_factory=qf)
         deploy = SwitchPointerDeployment(net, alpha_ms=10, k=2,
                                          epsilon_ms=1, delta_ms=2)

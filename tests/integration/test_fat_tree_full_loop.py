@@ -41,8 +41,9 @@ def shares_interswitch_link(a: list[str], b: list[str]) -> bool:
 
 @pytest.fixture(scope="module")
 def diagnosed():
-    qf = lambda: StrictPriorityQueue(levels=3,
-                                     capacity_bytes=4 * 1024 * 1024)
+    def qf():
+        return StrictPriorityQueue(levels=3,
+                                   capacity_bytes=4 * 1024 * 1024)
     net = build_fat_tree(4, queue_factory=qf)
     deploy = SwitchPointerDeployment(net, alpha_ms=10, k=3,
                                      epsilon_ms=1, delta_ms=2,

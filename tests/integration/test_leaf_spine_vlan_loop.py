@@ -20,8 +20,9 @@ from repro.simnet.traffic import UdpCbrSource, UdpSink
 
 @pytest.fixture(scope="module")
 def diagnosed():
-    qf = lambda: StrictPriorityQueue(levels=3,
-                                     capacity_bytes=4 * 1024 * 1024)
+    def qf():
+        return StrictPriorityQueue(levels=3,
+                                   capacity_bytes=4 * 1024 * 1024)
     # single spine: cross-leaf paths share the spine trunks, so the
     # victim and aggressor collide deterministically
     net = build_leaf_spine(n_leaves=2, n_spines=1, hosts_per_leaf=4,

@@ -27,7 +27,8 @@ def leaf_spine():
 
 def send_and_reconstruct(net, planner, src, dst, sport):
     got = []
-    handler = lambda p, t: got.append(p)
+    def handler(p, t):
+        got.append(p)
     net.hosts[dst].bind(PROTO_UDP, 20_000 + sport, handler)
     try:
         net.hosts[src].send(make_udp(src, dst, sport,

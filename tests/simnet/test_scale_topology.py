@@ -1,0 +1,133 @@
+"""Scale topology: fat-tree-for-hosts generator and fast route install.
+
+``compute_routes`` was rewritten from an all-pairs × all-links scan to
+BFS-from-switches + per-switch incident links; the reference
+implementation below re-states the old semantics so the rewrite stays
+behaviorally pinned (including ECMP candidate order, which the
+load-imbalance and polarization scenarios depend on).
+"""
+
+import networkx as nx
+import pytest
+
+from repro.simnet.topology import (TopologyError, build_fat_tree,
+                                   build_fat_tree_for_hosts,
+                                   build_leaf_spine, build_linear,
+                                   build_star)
+
+
+def reference_routes(net) -> dict[tuple[str, str], list[int]]:
+    """The pre-rewrite compute_routes semantics, as ECMP candidate
+    link-id lists per (switch, dst)."""
+    g = net.live_graph()
+    dist = dict(nx.all_pairs_shortest_path_length(g))
+    out: dict[tuple[str, str], list[int]] = {}
+    for sw_name, sw in net.switches.items():
+        for dst in net.hosts:
+            candidates = []
+            d_here = dist[sw_name].get(dst)
+            if d_here is None:
+                continue
+            for link in net.links:
+                if not link.up:
+                    continue
+                if sw_name not in (link.a.name, link.b.name):
+                    continue
+                peer = link.peer_of(sw)
+                if dist[peer.name].get(dst) == d_here - 1:
+                    candidates.append(link.link_id)
+            if candidates:
+                out[(sw_name, dst)] = candidates
+    return out
+
+
+def installed_routes(net) -> dict[tuple[str, str], list[int]]:
+    out = {}
+    for sw_name, sw in net.switches.items():
+        for dst in net.hosts:
+            ifaces = sw.routes_for(dst)
+            if ifaces:
+                out[(sw_name, dst)] = [iface.link.link_id
+                                       for iface in ifaces]
+    return out
+
+
+class TestComputeRoutesEquivalence:
+    @pytest.mark.parametrize("build", [
+        lambda: build_star(5),
+        lambda: build_linear(4, hosts_per_switch=3),
+        lambda: build_leaf_spine(4, 2, hosts_per_leaf=3),
+        lambda: build_fat_tree(4),
+    ])
+    def test_matches_reference_incl_candidate_order(self, build):
+        net = build()
+        assert installed_routes(net) == reference_routes(net)
+
+    def test_matches_reference_after_link_down(self):
+        net = build_leaf_spine(4, 2, hosts_per_leaf=2)
+        net.set_link_state("leaf0", "spine0", up=False)
+        assert installed_routes(net) == reference_routes(net)
+
+    def test_matches_reference_on_partition(self):
+        net = build_linear(3, hosts_per_switch=1)
+        net.set_link_state("S1", "S2", up=False)
+        routes = installed_routes(net)
+        assert routes == reference_routes(net)
+        # S1 lost every path to the hosts beyond the cut
+        assert ("S1", "h2_0") not in routes
+        assert ("S1", "h1_0") in routes
+
+    def test_matches_reference_after_reconvergence(self):
+        net = build_leaf_spine(4, 2, hosts_per_leaf=2)
+        net.set_link_state("leaf0", "spine0", up=False)
+        net.set_link_state("leaf0", "spine0", up=True)
+        assert installed_routes(net) == reference_routes(net)
+
+
+class TestFatTreeForHosts:
+    @pytest.mark.parametrize("n", [1, 7, 64, 100, 256, 1024])
+    def test_exact_host_count(self, n):
+        net = build_fat_tree_for_hosts(n)
+        assert len(net.hosts) == n
+
+    def test_switch_fabric_stays_bounded(self):
+        small = build_fat_tree_for_hosts(256)
+        large = build_fat_tree_for_hosts(4096)
+        # pods saturate first, then hosts-per-edge grows: the switching
+        # fabric is the same shape at both populations
+        assert len(large.switches) == len(small.switches)
+
+    def test_all_pairs_reachable_in_sample(self):
+        net = build_fat_tree_for_hosts(96)
+        names = net.host_names
+        for src, dst in zip(names[:4], reversed(names[-4:])):
+            assert nx.has_path(net.graph(), src, dst)
+            sw = net.switches[next(
+                n for n in net.graph().neighbors(src)
+                if n in net.switches)]
+            assert sw.routes_for(dst)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(TopologyError):
+            build_fat_tree_for_hosts(0)
+        with pytest.raises(TopologyError):
+            build_fat_tree_for_hosts(8, k=3)
+        with pytest.raises(TopologyError):
+            build_fat_tree_for_hosts(8, max_pods=0)
+
+
+class TestFatTreeExtensions:
+    def test_n_pods_override(self):
+        net = build_fat_tree(4, n_pods=2)
+        pods = {name.split("_")[0] for name in net.switches
+                if name.startswith("edge")}
+        assert pods == {"edge0", "edge1"}
+
+    def test_total_hosts_trims_the_last_edges(self):
+        net = build_fat_tree(4, n_pods=2, total_hosts=5)
+        assert len(net.hosts) == 5
+
+    def test_classic_shape_unchanged(self):
+        net = build_fat_tree(4)
+        assert len(net.hosts) == 16
+        assert len(net.switches) == 20

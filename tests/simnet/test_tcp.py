@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.simnet.packet import PRIO_HIGH, PRIO_LOW
+from repro.simnet.packet import PRIO_HIGH
 from repro.simnet.queues import DropTailFIFO, StrictPriorityQueue
 from repro.simnet.tcp import open_tcp_flow
-from repro.simnet.topology import Network, build_linear
+from repro.simnet.topology import Network
 from repro.simnet.traffic import UdpCbrSource, UdpSink
-from repro.simnet.stats import ThroughputProbe
 
 
 def small_net(queue_factory=None):
@@ -87,7 +86,8 @@ class TestBasicTransfer:
 class TestLossRecovery:
     def test_recovers_through_tiny_buffer(self):
         """A shallow queue forces drops; the transfer must still finish."""
-        qf = lambda: DropTailFIFO(capacity_bytes=6000)  # ~4 packets
+        def qf():
+            return DropTailFIFO(capacity_bytes=6000)  # ~4 packets
         net = small_net(queue_factory=qf)
         sender, receiver = open_tcp_flow(
             net.sim, net.hosts["a"], net.hosts["b"], sport=1, dport=2,
@@ -101,8 +101,9 @@ class TestLossRecovery:
 
     def test_rto_fires_under_total_starvation(self):
         """Strict-priority starvation longer than the RTO must time out."""
-        qf = lambda: StrictPriorityQueue(levels=3,
-                                         capacity_bytes=16 * 1024 * 1024)
+        def qf():
+            return StrictPriorityQueue(levels=3,
+                                       capacity_bytes=16 * 1024 * 1024)
         net = Network()
         s1 = net.add_switch("S1")
         s2 = net.add_switch("S2")
@@ -127,8 +128,9 @@ class TestLossRecovery:
         assert sender.timeout_times[0] > 0.005
 
     def test_cwnd_resets_after_timeout(self):
-        qf = lambda: StrictPriorityQueue(levels=3,
-                                         capacity_bytes=16 * 1024 * 1024)
+        def qf():
+            return StrictPriorityQueue(levels=3,
+                                       capacity_bytes=16 * 1024 * 1024)
         net = small_net(queue_factory=qf)
         sender, _ = open_tcp_flow(net.sim, net.hosts["a"], net.hosts["b"],
                                   sport=1, dport=2, total_bytes=None,

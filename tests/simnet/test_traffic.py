@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simnet.packet import PRIO_HIGH, PRIO_LOW
+from repro.simnet.packet import PRIO_HIGH
 from repro.simnet.topology import Network
 from repro.simnet.traffic import (TcpBulkTransfer, TcpTimedFlow,
                                   UdpCbrSource, UdpSink,

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.simnet.topology import build_leaf_spine
-from repro.simnet.workload import (GeneratedFlow, WorkloadGenerator,
-                                   WorkloadSpec)
+from repro.simnet.workload import WorkloadGenerator, WorkloadSpec
 
 
 def fabric():

@@ -5,8 +5,6 @@ levels; ancient windows fall back to the pushed (offline) history.  A
 level must never give a *partial* answer.
 """
 
-import pytest
-
 from repro.core.epoch import EpochClock, EpochRange
 from repro.core.pointer import HierarchicalPointerStore
 from repro.switchd.agent import SwitchAgent

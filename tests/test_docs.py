@@ -6,6 +6,7 @@ import sys
 from pathlib import Path
 
 from repro.scenarios import REGISTRY, catalog_markdown
+from repro.sweep import SWEEPS, sweeps_markdown
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -24,6 +25,33 @@ class TestScenarioCatalog:
             assert spec.summary in page
             for knob in spec.knobs:
                 assert f"`{knob}`" in page
+
+
+class TestSweepCatalog:
+    def test_sweeps_md_matches_registry(self):
+        """docs/SWEEPS.md must be regenerated when the sweep registry
+        changes (python tools/gen_sweep_docs.py)."""
+        page = (REPO / "docs" / "SWEEPS.md").read_text(encoding="utf-8")
+        assert page == sweeps_markdown()
+
+    def test_every_sweep_documented(self):
+        page = (REPO / "docs" / "SWEEPS.md").read_text(encoding="utf-8")
+        for spec in SWEEPS.specs():
+            assert f"## `{spec.scenario}`" in page
+            assert spec.summary in page
+            for axis in spec.axes:
+                assert f"`{axis}`" in page
+
+    def test_generator_check_mode_passes(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "gen_sweep_docs.py"),
+             "--check"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_readme_links_sweeps_doc(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/SWEEPS.md" in readme
 
 
 class TestArchitecturePage:
