@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli run fig3                 # fig ids are aliases
     python -m repro.cli sweep list               # registered scale sweeps
     python -m repro.cli sweep run incast --grid hosts=64,256,1024
+    python -m repro.cli sweep run incast-scale --grid hosts=256 flows=2000
+    python -m repro.cli sweep nightly            # every sweep, reduced grid
     python -m repro.cli sizing --hosts 100000 --alpha 10 --k 3
 
 ``list``, ``run``, and ``sweep`` are driven entirely by the scenario
@@ -120,59 +122,39 @@ def cmd_run(args) -> int:
 # ---------------------------------------------------------------------------
 
 def cmd_sweep_list(_args) -> int:
-    print("sweeps (python -m repro.cli sweep run <scenario>):")
+    print("sweeps (python -m repro.cli sweep run <name>):")
     for spec in SWEEPS.specs():
         axes = ",".join(spec.axes)
-        print(f"  {spec.scenario:15s} axes: {axes}")
+        print(f"  {spec.name:15s} scenario: {spec.scenario}  axes: {axes}")
         print(f"  {'':15s} {spec.summary}")
     return 0
 
 
-def cmd_sweep_run(args) -> int:
-    try:
-        spec = SWEEPS.get(args.scenario)
-        grid = parse_grid(args.grid) if args.grid else None
-        if getattr(args, "nightly", False) and grid is None:
-            if not spec.nightly_grid:
-                # falling back to the full default grid here would turn
-                # the "reduced" nightly CI run into the big sweep
-                raise SweepError(
-                    f"sweep {spec.scenario!r} declares no nightly grid; "
-                    f"pass --grid explicitly")
-            grid = {axis: list(vals)
-                    for axis, vals in spec.nightly_grid.items()}
-        sweep = Sweep(spec, grid, workers=args.workers,
-                      base_seed=args.seed,
-                      extra_knobs=_parse_knobs(args.knob))
-    except (SweepError, GridError, ScenarioError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+def _show_point(point) -> None:
+    """One progress line per finished grid point."""
+    params = ", ".join(f"{k}={v}" for k, v in point.params.items())
+    if point.error is not None:
+        status = f"ERROR: {point.error}"
+    elif point.diagnosis_ok:
+        suspects = ",".join(point.suspects) or "-"
+        status = f"ok [suspect: {suspects}]"
+    else:
+        status = f"MISDIAGNOSED: {point.problems or 'no verdict'}"
+    print(f"  point {point.index}: {params}  "
+          f"{point.wall_time_s:6.2f}s  "
+          f"flows={point.flow_count}  "
+          f"peak_records={point.peak_records}  {status}")
 
-    def show(point) -> None:
-        params = ", ".join(f"{k}={v}" for k, v in point.params.items())
-        if point.error is not None:
-            status = f"ERROR: {point.error}"
-        elif point.diagnosis_ok:
-            suspects = ",".join(point.suspects) or "-"
-            status = f"ok [suspect: {suspects}]"
-        else:
-            status = f"MISDIAGNOSED: {point.problems or 'no verdict'}"
-        print(f"  point {point.index}: {params}  "
-              f"{point.wall_time_s:6.2f}s  "
-              f"peak_records={point.peak_records}  {status}")
 
-    print(f"sweep {spec.scenario}: {len(sweep.params)} points, "
-          f"{sweep.workers} worker(s)")
-    report = sweep.run(on_point=show)
+def _write_report(report, out: Path) -> list[str]:
+    """Validate and persist one SweepReport; returns schema problems."""
     doc = report.to_json()
     problems = validate_report(doc)
     if problems:
         # a structurally invalid report is a bug, not a result
         for problem in problems:
             print(f"error: invalid report: {problem}", file=sys.stderr)
-        return 2
-    out = Path(args.out) if args.out else (
-        Path("results") / f"sweep_{spec.scenario}.json")
+        return problems
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
@@ -182,7 +164,78 @@ def cmd_sweep_run(args) -> int:
           f"{summary['diagnosis_failures']} misdiagnosed) "
           f"in {summary['wall_time_s']:.2f}s")
     print(f"report: {out}")
+    return []
+
+
+def cmd_sweep_run(args) -> int:
+    try:
+        spec = SWEEPS.get(args.sweep)
+        # --grid accepts several axis expressions per flag and repeats:
+        # `--grid hosts=256 flows=2000` == `--grid hosts=256 --grid
+        # flows=2000`; argparse hands us one list per flag
+        exprs = [expr for group in args.grid for expr in group]
+        grid = parse_grid(exprs) if exprs else None
+        if getattr(args, "nightly", False) and grid is None:
+            # registration guarantees every spec declares a nightly grid
+            grid = {axis: list(vals)
+                    for axis, vals in spec.nightly_grid.items()}
+        sweep = Sweep(spec, grid, workers=args.workers,
+                      base_seed=args.seed,
+                      extra_knobs=_parse_knobs(args.knob))
+    except (SweepError, GridError, ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"sweep {spec.name}: {len(sweep.params)} points, "
+          f"{sweep.workers} worker(s)")
+    report = sweep.run(on_point=_show_point)
+    out = Path(args.out) if args.out else (
+        Path("results") / f"sweep_{spec.name}.json")
+    if _write_report(report, out):
+        return 2
     return 0 if report.all_ok else 1
+
+
+def cmd_sweep_nightly(args) -> int:
+    """Run every registered sweep at its reduced nightly grid.
+
+    The registry-driven replacement for hard-coding one CI step per
+    sweep: registering a new ``SweepSpec`` (which must declare a
+    nightly grid) is all it takes to join the scheduled run.  One
+    report file per sweep lands under ``--out-dir``.
+    """
+    names = SWEEPS.names()
+    if args.only:
+        unknown = [n for n in args.only if n not in SWEEPS]
+        if unknown:
+            print(f"error: no sweep registered for {unknown[0]!r}; "
+                  f"known: {', '.join(names)}", file=sys.stderr)
+            return 2
+        names = [n for n in names if n in set(args.only)]
+    out_dir = Path(args.out_dir)
+    failed: list[str] = []
+    for name in names:
+        spec = SWEEPS.get(name)
+        grid = {axis: list(vals)
+                for axis, vals in spec.nightly_grid.items()}
+        try:
+            sweep = Sweep(spec, grid, workers=args.workers,
+                          base_seed=args.seed)
+        except (SweepError, GridError, ScenarioError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            failed.append(name)
+            continue
+        nightly = " ".join(f"{axis}={','.join(str(v) for v in vals)}"
+                           for axis, vals in grid.items())
+        print(f"sweep {name} (nightly grid {nightly}): "
+              f"{len(sweep.params)} points, {sweep.workers} worker(s)")
+        report = sweep.run(on_point=_show_point)
+        out = out_dir / f"sweep_nightly_{name}.json"
+        if _write_report(report, out) or not report.all_ok:
+            failed.append(name)
+    print(f"nightly: {len(names) - len(failed)}/{len(names)} sweeps ok"
+          + (f" (failed: {', '.join(failed)})" if failed else ""))
+    return 1 if failed else 0
 
 
 # ---------------------------------------------------------------------------
@@ -287,25 +340,40 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_sub.add_parser("list", help="list registered sweeps")
     psr = sweep_sub.add_parser("run", help="run one sweep and write a "
                                            "SweepReport JSON")
-    psr.add_argument("scenario", help="sweep registry name (see "
-                                      "`sweep list`)")
-    psr.add_argument("--grid", action="append", default=[],
+    psr.add_argument("sweep", help="sweep registry name (see "
+                                   "`sweep list`)")
+    psr.add_argument("--grid", action="append", nargs="+", default=[],
                      metavar="AXIS=V1,V2,...",
-                     help="one grid axis (repeatable); default: the "
-                          "sweep's declared grid")
+                     help="grid axes (one or more per flag, flag "
+                          "repeatable); default: the sweep's declared "
+                          "grid")
     psr.add_argument("--workers", type=int, default=None,
                      help="parallel point workers (default: cpu count)")
     psr.add_argument("--seed", type=int, default=DEFAULT_BASE_SEED,
                      help="base seed for per-point seeds")
     psr.add_argument("--out", default=None,
                      help="report path (default: "
-                          "results/sweep_<scenario>.json)")
+                          "results/sweep_<name>.json)")
     psr.add_argument("--knob", action="append", default=[],
                      metavar="KEY=VALUE",
                      help="pin a scenario knob for every point "
                           "(repeatable)")
     psr.add_argument("--nightly", action="store_true",
                      help="use the sweep's reduced nightly grid")
+    psn = sweep_sub.add_parser(
+        "nightly", help="run every registered sweep at its reduced "
+                        "nightly grid (one report per sweep)")
+    psn.add_argument("--out-dir", default="results",
+                     help="directory for the per-sweep "
+                          "sweep_nightly_<name>.json reports")
+    psn.add_argument("--workers", type=int, default=None,
+                     help="parallel point workers (default: cpu count)")
+    psn.add_argument("--seed", type=int, default=DEFAULT_BASE_SEED,
+                     help="base seed for per-point seeds")
+    psn.add_argument("--only", action="append", default=[],
+                     metavar="NAME",
+                     help="restrict to this sweep (repeatable; "
+                          "default: all registered)")
 
     for fig in ("fig2a", "fig2b", "fig7"):
         p = sub.add_parser(fig, help=LEGACY_FIGURES[fig])
@@ -328,6 +396,8 @@ def main(argv=None) -> int:
     if args.command == "sweep":
         if args.sweep_command == "list":
             return cmd_sweep_list(args)
+        if args.sweep_command == "nightly":
+            return cmd_sweep_nightly(args)
         return cmd_sweep_run(args)
     dispatch = {
         "list": cmd_list,

@@ -157,7 +157,7 @@ class SwitchPointerDeployment:
 
     def record_stats(self) -> dict[str, int]:
         """Aggregate host record-table counters (sweep measurements)."""
-        peak = total = evicted = spilled = 0
+        peak = total = evicted = spilled = ingested = 0
         for agent in self.host_agents.values():
             # drain any batched-ingest buffer first: hosts the analyzer
             # never queried would otherwise under-report their footprint
@@ -167,5 +167,7 @@ class SwitchPointerDeployment:
             total += len(store)
             evicted += store.evicted
             spilled += store.spilled
+            ingested += store.ingested
         return {"peak_records": peak, "total_records": total,
-                "evicted_records": evicted, "spilled_records": spilled}
+                "evicted_records": evicted, "spilled_records": spilled,
+                "ingested_records": ingested}

@@ -216,6 +216,8 @@ class FlowRecordStore:
         self.peak_records = 0
         self.spilled = 0
         self.evicted = 0
+        #: decoded packets folded into the table (ingest throughput)
+        self.ingested = 0
 
     def record_for(self, flow: FlowKey) -> FlowRecord:
         rec = self._records.get(flow)
@@ -254,6 +256,7 @@ class FlowRecordStore:
                ranges: dict[str, EpochRange],
                observed_epoch: Optional[int]) -> FlowRecord:
         """One decoded packet → record update (decoder entry point)."""
+        self.ingested += 1
         rec = self.record_for(flow)
         rec.observe(nbytes=nbytes, t=t, priority=priority,
                     switch_path=switch_path, ranges=ranges,

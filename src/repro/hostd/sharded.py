@@ -91,6 +91,8 @@ class ShardedRecordStore:
         self.before_read: Optional[Callable[[], object]] = None
         self.peak_records = 0
         self._spilled_direct = 0
+        #: decoded packets folded into the table (ingest throughput)
+        self.ingested = 0
 
     # -- ingest ----------------------------------------------------------------
 
@@ -125,6 +127,7 @@ class ShardedRecordStore:
         observed_epoch: Optional[int],
     ) -> FlowRecord:
         """One decoded packet → record update (decoder entry point)."""
+        self.ingested += 1
         rec = self.record_for(flow)
         rec.observe(
             nbytes=nbytes,

@@ -1,10 +1,16 @@
-"""Constants, queue factories, and topology helpers shared by the
-scenario modules."""
+"""Constants, queue factories, topology helpers, and the background
+traffic-population plumbing shared by the scenario modules."""
 
 from __future__ import annotations
 
+import random
+from typing import Iterable, Optional
+
 from ..simnet.queues import DropTailFIFO, StrictPriorityQueue
 from ..simnet.topology import Network
+from ..simnet.workload import (BackgroundTraffic, WorkloadGenerator,
+                               WorkloadSpec)
+from .base import Knob
 
 #: Pica8-class deep shared buffer (the paper's testbed switch family has
 #: multi-MB packet memory; a shallow buffer would clip the starvation
@@ -46,3 +52,51 @@ def build_diamond(n_pairs: int, *, trunk_bps: float,
         net.connect(rx, s2, rate_bps=host_bps, queue_factory=fifo_queue)
     net.compute_routes()
     return net
+
+
+def background_knobs() -> dict[str, Knob]:
+    """The background-population knobs traffic-scale scenarios share.
+
+    ``bg_flows`` is what the sweep ``flows=`` axis binds: the size of
+    the synthetic flow population running alongside the scenario's own
+    workload (see ``docs/WORKLOADS.md``).
+    """
+    return {
+        "bg_flows": Knob(0, "background workload flows (0 = none; "
+                            "the sweep flows= axis)"),
+        "bg_mix": Knob("uniform", "background endpoint mix: "
+                                  "uniform or zipf"),
+        "bg_flow_kb": Knob(4, "mean background flow size "
+                              "(KB, bounded Pareto)"),
+    }
+
+
+def launch_background(network: Network, p: dict, *, duration: float,
+                      exclude: Iterable[str] = ()
+                      ) -> Optional[BackgroundTraffic]:
+    """Start the ``bg_*``-knob flow population (None when 0 flows).
+
+    Flows are planned in batches and driven by one
+    :class:`~repro.simnet.workload.BackgroundTraffic` emitter, start
+    uniformly over the first half of ``duration``, and avoid the
+    ``exclude`` hosts (e.g. incast's victim receiver, so background
+    noise cannot fake fan-in culprits).  The workload seed derives from
+    the process RNG — a sweep point's recorded seed reproduces the
+    exact population.
+    """
+    n = p["bg_flows"]
+    if n <= 0:
+        return None
+    banned = set(exclude)
+    hosts = [h for h in network.host_names if h not in banned]
+    if len(hosts) < 2:
+        raise ValueError("background workload needs >= 2 eligible hosts")
+    mean = max(1, p["bg_flow_kb"]) * 1024
+    spec = WorkloadSpec(
+        n_flows=n, spread_s=duration * 0.5, mix=p["bg_mix"],
+        mean_flow_bytes=mean, min_flow_bytes=300,
+        max_flow_bytes=max(20 * mean, 300), packet_size=1000,
+        flow_rate_bps=2e7, seed=random.randrange(2 ** 31))
+    gen = WorkloadGenerator(network, spec, senders=hosts,
+                            receivers=hosts)
+    return gen.launch()

@@ -21,6 +21,7 @@ from ..simnet.topology import Network, build_linear
 from ..simnet.traffic import UdpCbrSource, UdpSink
 from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
+from .common import background_knobs, launch_background
 
 
 @dataclass
@@ -71,6 +72,7 @@ class GrayFailureScenario(Scenario):
                                      "agent (>1 = sharded store)"),
             "ingest_batch": Knob(1, "sniffed packets decoded per "
                                     "ingest batch"),
+            **background_knobs(),
         },
         aliases=("silent-drop",),
         smoke_knobs={"n_flows": 2, "duration": 0.040},
@@ -112,6 +114,16 @@ class GrayFailureScenario(Scenario):
 
         net.sim.schedule_at(p["fault_time"], inject)
 
+        # the background flow population (the sweep flows= axis): load
+        # on every record table while the blackhole is localized.  The
+        # victim destinations are excluded — localization cuts on
+        # "which hops stopped naming the destination", so unrelated
+        # traffic to the same destination would legitimately erase the
+        # cut (the population models *other* tenants' flows)
+        self.background = launch_background(
+            net, p, duration=p["duration"],
+            exclude=[f"h4_{i}" for i in range(n)])
+
     def run(self) -> None:
         self.network.run(until=self.p["duration"])
 
@@ -131,11 +143,16 @@ class GrayFailureScenario(Scenario):
             silence_epochs=self.silence_epochs,
             affected=list(self.affected), healthy=list(self.healthy),
             gray_drops=net.switches[p["fault_switch"]].gray_drops)
+        bg = self.background
         return {
             "gray_drops": self.payload.gray_drops,
             "silence_epochs": (self.silence_epochs.lo,
                                self.silence_epochs.hi),
             "affected_flows": len(self.affected),
+            "flow_count": p["n_flows"] +
+                          (bg.n_flows if bg is not None else 0),
+            "bg_packets_delivered": (bg.delivered
+                                     if bg is not None else 0),
         }
 
     def diagnose(self) -> list[Verdict]:
@@ -147,21 +164,23 @@ class GrayFailureScenario(Scenario):
 
 register_sweep(SweepSpec(
     scenario="gray-failure",
-    summary="blackhole localization as concurrent flows (and record "
-            "tables) scale",
+    summary="blackhole localization as the concurrent flow population "
+            "(and record tables) scales",
     expect_problem="gray-failure",
     # diagnose_gray_failure reports problem="gray-failure" even when
     # localization finds nothing — a point only counts as correct when
     # a verdict names the injected switch
     expect_suspect_knob="fault_switch",
     axes={
-        "flows": "n_flows",
+        "flows": "bg_flows",
+        "victims": "n_flows",
         "records": "records_per_host",
         "alpha_ms": "alpha_ms",
         "shards": "record_shards",
         "batch": "ingest_batch",
+        "mix": "bg_mix",
     },
-    default_grid={"flows": (4, 16, 64)},
-    nightly_grid={"flows": (4, 16)},
+    default_grid={"flows": (0, 200, 1000), "victims": (4, 16)},
+    nightly_grid={"flows": (0, 200), "victims": (4,)},
     base_knobs={"record_shards": 4, "ingest_batch": 8},
 ))

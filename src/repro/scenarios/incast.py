@@ -23,7 +23,7 @@ from ..simnet.topology import (Network, build_fat_tree_for_hosts,
 from ..simnet.traffic import TcpTimedFlow, UdpCbrSource, UdpSink
 from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
-from .common import GBPS
+from .common import GBPS, background_knobs, launch_background
 
 
 @dataclass
@@ -87,6 +87,7 @@ class IncastScenario(Scenario):
                                      "agent (>1 = sharded store)"),
             "ingest_batch": Knob(1, "sniffed packets decoded per "
                                     "ingest batch"),
+            **background_knobs(),
         },
         smoke_knobs={"n_senders": 4, "duration": 0.025,
                      "burst_start": 0.008},
@@ -180,6 +181,12 @@ class IncastScenario(Scenario):
                          priority=PRIO_LOW, start=p["burst_start"],
                          duration=p["burst_duration"])
 
+        # the background flow population (the sweep flows= axis): kept
+        # away from the receiver so none of it can masquerade as a
+        # fan-in culprit at the convergence switch
+        self.background = launch_background(
+            net, p, duration=p["duration"], exclude=(self.receiver,))
+
     def run(self) -> None:
         self.network.run(until=self.p["duration"] + 0.020)
         self.trigger.stop()
@@ -200,6 +207,7 @@ class IncastScenario(Scenario):
             alerts=list(self.deployment.alerts()),
             tcp_timeouts=self.victim_app.sender.timeouts,
             downlink_queue_drops=downlink.queue.stats.dropped)
+        bg = self.background
         return {
             "alerts": len(self.payload.alerts),
             "fabric_hosts": len(net.hosts),
@@ -208,6 +216,11 @@ class IncastScenario(Scenario):
             "downlink_queue_drops": self.payload.downlink_queue_drops,
             "victim_rate_at_burst_gbps": round(
                 self.tput.rate_at(p["burst_start"] + 0.0005), 3),
+            # n_senders bursts + the victim + the background population
+            "flow_count": p["n_senders"] + 1 +
+                          (bg.n_flows if bg is not None else 0),
+            "bg_packets_delivered": (bg.delivered
+                                     if bg is not None else 0),
         }
 
     def diagnose(self) -> list[Verdict]:
@@ -225,14 +238,35 @@ register_sweep(SweepSpec(
     expect_problem="incast",
     axes={
         "hosts": "hosts",
+        "flows": "bg_flows",
         "records": "records_per_host",
         "alpha_ms": "alpha_ms",
         "senders": "n_senders",
         "shards": "record_shards",
         "batch": "ingest_batch",
         "fabric": "fabric",
+        "mix": "bg_mix",
     },
     default_grid={"hosts": (64, 256, 1024, 4096)},
     nightly_grid={"hosts": (64, 256, 1024)},
+    base_knobs={"record_shards": 8, "ingest_batch": 16},
+))
+
+register_sweep(SweepSpec(
+    scenario="incast",
+    name="incast-scale",
+    summary="fan-in collapse diagnosed under background populations of "
+            "hundreds to thousands of concurrent flows",
+    expect_problem="incast",
+    axes={
+        "hosts": "hosts",
+        "flows": "bg_flows",
+        "mix": "bg_mix",
+        "flow_kb": "bg_flow_kb",
+        "alpha_ms": "alpha_ms",
+        "records": "records_per_host",
+    },
+    default_grid={"hosts": (256,), "flows": (200, 1000, 2000)},
+    nightly_grid={"hosts": (64,), "flows": (200, 1000)},
     base_knobs={"record_shards": 8, "ingest_batch": 16},
 ))

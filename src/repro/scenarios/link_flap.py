@@ -25,6 +25,7 @@ from ..simnet.device import _flow_hash
 from ..simnet.packet import PRIO_LOW, PROTO_TCP, PROTO_UDP, FlowKey
 from ..simnet.topology import LinkFlapper, Network
 from ..simnet.traffic import TcpTimedFlow, UdpCbrSource, UdpSink
+from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
 from .common import GBPS, build_diamond
 
@@ -152,6 +153,8 @@ class LinkFlapScenario(Scenario):
             "flaps": self.payload.flaps,
             "down_drops": self.payload.down_drops,
             "tcp_timeouts": timeouts,
+            "flow_count": (len(self.flapping_side)
+                           + len(self.stable_side)),
         }
 
     def diagnose(self) -> list[Verdict]:
@@ -159,3 +162,18 @@ class LinkFlapScenario(Scenario):
             self.network.sim.now)
         return [diagnose_link_flap(self.deployment.analyzer, "S1",
                                    epochs=EpochRange(0, last_epoch))]
+
+
+register_sweep(SweepSpec(
+    scenario="link-flap",
+    summary="flapping-trunk localization as the crossing flow "
+            "population scales",
+    expect_problem="link-flap",
+    axes={
+        "flows": "n_flows",
+        "alpha_ms": "alpha_ms",
+        "down_for": "down_for",
+    },
+    default_grid={"flows": (8, 16, 32)},
+    nightly_grid={"flows": (8, 16)},
+))

@@ -24,6 +24,7 @@ from ..simnet.device import _flow_hash
 from ..simnet.packet import PRIO_LOW, PROTO_UDP, FlowKey
 from ..simnet.topology import Network, build_leaf_spine
 from ..simnet.traffic import UdpCbrSource, UdpSink
+from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
 
 
@@ -144,6 +145,7 @@ class PolarizationScenario(Scenario):
         return {
             "spine_tx_bytes": spine_bytes,
             "off_policy_flows": self.payload.off_policy_flows,
+            "flow_count": len(self.flows),
         }
 
     def diagnose(self) -> list[Verdict]:
@@ -154,3 +156,18 @@ class PolarizationScenario(Scenario):
             deploy.analyzer, self.branch_switch,
             epochs=EpochRange(0, last_epoch),
             skew_threshold=self.p["skew_threshold"])]
+
+
+register_sweep(SweepSpec(
+    scenario="polarization",
+    summary="port-blind hash skew flagged as the parallel-connection "
+            "count scales",
+    expect_problem="ecmp-polarization",
+    axes={
+        "flows": "n_flows",
+        "alpha_ms": "alpha_ms",
+        "rate_mbps": "rate_mbps",
+    },
+    default_grid={"flows": (8, 32, 128)},
+    nightly_grid={"flows": (8, 32)},
+))

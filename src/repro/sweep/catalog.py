@@ -22,23 +22,34 @@ _PREAMBLE = """\
      Regenerate with: python tools/gen_sweep_docs.py -->
 
 A *sweep* executes one registered scenario across a parameter grid —
-the thousand-host scale axis the single-run scenario catalogue
+the thousand-host **fabric** axis and the thousand-flow **traffic**
+axis that the single-run scenario catalogue
 ([SCENARIOS.md](SCENARIOS.md)) does not cover.  Run one with
 
 ```sh
-python -m repro.cli sweep run <scenario> [--grid axis=v1,v2,...] ...
+python -m repro.cli sweep run <sweep> [--grid axis=v1,v2,...] ...
 ```
 
 and list the registered sweeps with `python -m repro.cli sweep list`.
+Sweeps are registered under their own names: several sweeps may
+exercise the same scenario along different axes (`incast` scales the
+fabric population, `incast-scale` the concurrent-flow population).
 
 ## Grid syntax
 
-Each repeated `--grid` flag names one axis and its comma-separated
-values (`--grid hosts=64,256,1024 --grid alpha_ms=5,10`); values are
+Each `--grid` flag takes one or more `axis=v1,v2,...` expressions and
+may repeat — `--grid hosts=256 flows=2000` and
+`--grid hosts=256 --grid flows=2000` are the same grid; values are
 coerced to bool/int/float/str.  The sweep runs the cartesian product of
 all axes in row-major order (last axis fastest).  Axes are declared per
 sweep (tables below) and bind to scenario knobs; anything not on an
 axis can still be pinned for every point with `--knob key=value`.
+
+The shared `flows` axis drives the synthetic background flow
+population ([WORKLOADS.md](WORKLOADS.md)): hundreds to thousands of
+concurrent flows planned in batches and emitted by one heap-driven
+source, so the diagnosis layers are stressed by traffic scale, not the
+generator.
 
 ## Worker model and seeds
 
@@ -51,31 +62,55 @@ worker count or completion order, by replaying its recorded `knobs`
 and `seed` from the report:
 `python -m repro.cli run <scenario> --seed <seed> --knob key=value ...`
 
+## The nightly driver
+
+```sh
+python -m repro.cli sweep nightly [--out-dir DIR] [--workers N]
+                                  [--seed N] [--only NAME ...]
+```
+
+expands **every registered sweep** at its reduced nightly grid and
+writes one `sweep_nightly_<name>.json` report per sweep — the
+registry-driven replacement for hard-coding one CI step per sweep.
+Registration requires a nightly grid, so a new sweep joins the
+scheduled CI run (and its artifact upload) automatically.  Exit status
+is non-zero if any sweep had an errored or misdiagnosed point.
+
 ## Report schema (`{schema}`)
 
-`sweep run` writes one JSON document (default `results/sweep_<scenario>.json`):
+`sweep run` writes one JSON document (default `results/sweep_<name>.json`):
 
 | field | meaning |
 |---|---|
 | `schema` | schema id, currently `{schema}` |
+| `sweep` | registry name of the sweep that produced the report |
 | `scenario`, `expect_problem` | what ran and the verdict that counts as correct |
 | `base_seed`, `workers`, `grid` | reproduction identity |
 | `points[]` | one entry per grid point (below) |
-| `summary` | point/ok/error counts, max peak records, total wall time |
+| `summary` | point/ok/error counts, max peak records, max flow count, total wall time |
 
 Each point carries `index`, `params` (axis values), `knobs` (resolved
 scenario knobs), `seed`, `ok` / `diagnosis_ok`, `problems` / `suspects`
 (analyzer verdicts), `wall_time_s` + per-phase `phase_s`, `sim_time_s`,
+`flow_count` (concurrent flows the point drove, scenario + background),
 `peak_records` / `total_records` / `evicted_records` (host record-table
-footprint), scenario `measurements`, and `error` (null unless the point
-raised).  `repro.sweep.validate_report` checks the structure; the CI
-benchmark-regression gate (`tools/check_bench_regression.py`) validates
-before trusting any number.
+footprint), `ingest_records_per_s` (decoded packets folded into host
+record tables per wall-clock second of the run phase), scenario
+`measurements`, and `error` (null unless the point raised).
+`repro.sweep.validate_report` checks the structure — including
+rejecting unknown top-level fields, so a typo in a hand-edited report
+fails loudly — and the CI benchmark-regression gate
+(`tools/check_bench_regression.py`) validates before trusting any
+number.
 """
 
 
+def _grid_cell(values) -> str:
+    return ",".join(str(v) for v in values) if values else "(not swept)"
+
+
 def _spec_markdown(spec: SweepSpec) -> str:
-    lines = [f"## `{spec.scenario}`", "", spec.summary, ""]
+    lines = [f"## `{spec.name}`", "", spec.summary, ""]
     lines.append(f"- **Scenario:** `{spec.scenario}` (see SCENARIOS.md)")
     correct = f"`{spec.expect_problem}`"
     if spec.expect_suspect_knob:
@@ -84,20 +119,14 @@ def _spec_markdown(spec: SweepSpec) -> str:
     if spec.base_knobs:
         pinned = ", ".join(f"`{k}={v!r}`" for k, v in sorted(spec.base_knobs.items()))
         lines.append(f"- **Pinned knobs:** {pinned}")
-    if spec.nightly_grid:
-        nightly = " ".join(
-            f"{axis}={','.join(str(v) for v in values)}"
-            for axis, values in spec.nightly_grid.items()
-        )
-        lines.append(f"- **Nightly grid:** `{nightly}`")
     lines.append(f"- **Run:** `{spec.cli_example}`")
     lines.append("")
-    lines.append("| axis | binds knob | default grid |")
-    lines.append("|---|---|---|")
+    lines.append("| axis | binds knob | default grid | nightly grid |")
+    lines.append("|---|---|---|---|")
     for axis, knob in spec.axes.items():
-        values = spec.default_grid.get(axis)
-        shown = ",".join(str(v) for v in values) if values else "(not swept)"
-        lines.append(f"| `{axis}` | `{knob}` | `{shown}` |")
+        default = _grid_cell(spec.default_grid.get(axis))
+        nightly = _grid_cell(spec.nightly_grid.get(axis))
+        lines.append(f"| `{axis}` | `{knob}` | `{default}` | `{nightly}` |")
     return "\n".join(lines) + "\n"
 
 

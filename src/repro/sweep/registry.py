@@ -35,13 +35,17 @@ class SweepError(Exception):
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """Sweep metadata for one scenario.
+    """Sweep metadata for one registered sweep.
 
     Attributes
     ----------
     scenario:
-        Scenario-registry name this sweep executes (also the sweep's
-        own registry key — one sweep per scenario).
+        Scenario-registry name this sweep executes.
+    name:
+        The sweep's own registry key.  Defaults to ``scenario``; give
+        it explicitly when several sweeps exercise the same scenario
+        along different axes (``incast`` sweeps the fabric population,
+        ``incast-scale`` the concurrent-flow population).
     summary:
         One-line description (CLI ``sweep list``, docs catalogue).
     expect_problem:
@@ -57,7 +61,10 @@ class SweepSpec:
     default_grid:
         Axis → value tuple used when ``--grid`` is not given.
     nightly_grid:
-        Reduced grid for the scheduled CI run and the smoke benchmark.
+        Reduced grid for the scheduled CI run (``sweep nightly``
+        expands every registered spec at this grid) and the smoke
+        benchmark.  Mandatory at registration: a sweep the nightly
+        driver cannot run would silently shrink CI's coverage.
     base_knobs:
         Fixed knob overrides applied to every point (e.g. a shortened
         run duration so thousand-host points stay tractable).
@@ -71,6 +78,12 @@ class SweepSpec:
     nightly_grid: dict[str, tuple[Any, ...]] = field(default_factory=dict)
     base_knobs: dict[str, Any] = field(default_factory=dict)
     expect_suspect_knob: Optional[str] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.name is None:
+            # frozen dataclass: assign through object.__setattr__
+            object.__setattr__(self, "name", self.scenario)
 
     def knobs_for(self, params: dict[str, Any]) -> dict[str, Any]:
         """Resolve one grid point's axis values into scenario knobs."""
@@ -79,7 +92,7 @@ class SweepSpec:
             knob = self.axes.get(axis)
             if knob is None:
                 raise GridError(
-                    f"unknown axis {axis!r} for sweep {self.scenario!r}; "
+                    f"unknown axis {axis!r} for sweep {self.name!r}; "
                     f"valid: {', '.join(sorted(self.axes))}"
                 )
             knobs[knob] = value
@@ -91,7 +104,7 @@ class SweepSpec:
             f"--grid {axis}={','.join(str(v) for v in values)}"
             for axis, values in self.default_grid.items()
         )
-        return f"python -m repro.cli sweep run {self.scenario} {grid}"
+        return f"python -m repro.cli sweep run {self.name} {grid}"
 
 
 def _load_declarations() -> None:
@@ -106,33 +119,39 @@ def _load_declarations() -> None:
 
 
 class SweepRegistry:
-    """Scenario name → sweep-spec registry."""
+    """Sweep name → sweep-spec registry."""
 
     def __init__(self) -> None:
         self._specs: dict[str, SweepSpec] = {}
 
     def register(self, spec: SweepSpec) -> SweepSpec:
-        if spec.scenario in self._specs:
-            raise SweepError(f"duplicate sweep for scenario {spec.scenario!r}")
+        if spec.name in self._specs:
+            raise SweepError(f"duplicate sweep name {spec.name!r}")
         if not spec.default_grid:
-            raise SweepError(f"sweep {spec.scenario!r} needs a default grid")
+            raise SweepError(f"sweep {spec.name!r} needs a default grid")
+        if not spec.nightly_grid:
+            # every registered sweep is part of the nightly CI coverage
+            raise SweepError(
+                f"sweep {spec.name!r} needs a nightly grid "
+                f"(`sweep nightly` runs every registered spec)"
+            )
         for grid_name in ("default_grid", "nightly_grid"):
             for axis in getattr(spec, grid_name):
                 if axis not in spec.axes:
                     raise SweepError(
-                        f"sweep {spec.scenario!r}: {grid_name} axis "
+                        f"sweep {spec.name!r}: {grid_name} axis "
                         f"{axis!r} is not declared in axes"
                     )
-        self._specs[spec.scenario] = spec
+        self._specs[spec.name] = spec
         return spec
 
-    def get(self, scenario: str) -> SweepSpec:
+    def get(self, name: str) -> SweepSpec:
         _load_declarations()
         try:
-            return self._specs[scenario]
+            return self._specs[name]
         except KeyError:
             raise SweepError(
-                f"no sweep registered for {scenario!r}; "
+                f"no sweep registered for {name!r}; "
                 f"known: {', '.join(self.names())}"
             ) from None
 
@@ -143,9 +162,9 @@ class SweepRegistry:
     def specs(self) -> list[SweepSpec]:
         return [self._specs[name] for name in self.names()]
 
-    def __contains__(self, scenario: str) -> bool:
+    def __contains__(self, name: str) -> bool:
         _load_declarations()
-        return scenario in self._specs
+        return name in self._specs
 
     def __len__(self) -> int:
         _load_declarations()

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-SCHEMA = "switchpointer.sweep-report/v1"
+SCHEMA = "switchpointer.sweep-report/v2"
 
 #: required per-point fields → allowed JSON types
 _POINT_FIELDS: dict[str, tuple[type, ...]] = {
@@ -32,15 +32,18 @@ _POINT_FIELDS: dict[str, tuple[type, ...]] = {
     "wall_time_s": (int, float),
     "phase_s": (dict,),
     "sim_time_s": (int, float),
+    "flow_count": (int,),
     "peak_records": (int,),
     "total_records": (int,),
     "evicted_records": (int,),
+    "ingest_records_per_s": (int, float),
     "measurements": (dict,),
     "error": (str, type(None)),
 }
 
 _TOP_FIELDS: dict[str, tuple[type, ...]] = {
     "schema": (str,),
+    "sweep": (str,),
     "scenario": (str,),
     "expect_problem": (str,),
     "base_seed": (int,),
@@ -65,9 +68,11 @@ class PointResult:
     wall_time_s: float = 0.0
     phase_s: dict[str, float] = field(default_factory=dict)
     sim_time_s: float = 0.0
+    flow_count: int = 0
     peak_records: int = 0
     total_records: int = 0
     evicted_records: int = 0
+    ingest_records_per_s: float = 0.0
     measurements: dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
 
@@ -89,9 +94,11 @@ class PointResult:
             "wall_time_s": round(self.wall_time_s, 6),
             "phase_s": {k: round(v, 6) for k, v in self.phase_s.items()},
             "sim_time_s": round(self.sim_time_s, 9),
+            "flow_count": self.flow_count,
             "peak_records": self.peak_records,
             "total_records": self.total_records,
             "evicted_records": self.evicted_records,
+            "ingest_records_per_s": round(self.ingest_records_per_s, 3),
             "measurements": dict(self.measurements),
             "error": self.error,
         }
@@ -109,9 +116,11 @@ class PointResult:
             wall_time_s=doc["wall_time_s"],
             phase_s=dict(doc["phase_s"]),
             sim_time_s=doc["sim_time_s"],
+            flow_count=doc["flow_count"],
             peak_records=doc["peak_records"],
             total_records=doc["total_records"],
             evicted_records=doc["evicted_records"],
+            ingest_records_per_s=doc["ingest_records_per_s"],
             measurements=dict(doc["measurements"]),
             error=doc["error"],
         )
@@ -119,8 +128,14 @@ class PointResult:
 
 @dataclass
 class SweepReport:
-    """Everything one sweep run produced, JSON-serializable."""
+    """Everything one sweep run produced, JSON-serializable.
 
+    ``sweep`` is the registry name the report came from; ``scenario``
+    the scenario it executed.  They differ when several sweeps exercise
+    the same scenario (e.g. ``incast`` vs ``incast-scale``).
+    """
+
+    sweep: str
     scenario: str
     expect_problem: str
     base_seed: int
@@ -138,6 +153,7 @@ class SweepReport:
             ),
             "errors": sum(1 for p in self.points if p.error is not None),
             "max_peak_records": max((p.peak_records for p in self.points), default=0),
+            "max_flow_count": max((p.flow_count for p in self.points), default=0),
             "wall_time_s": round(self.wall_time_s, 6),
         }
 
@@ -148,6 +164,7 @@ class SweepReport:
     def to_json(self) -> dict[str, Any]:
         return {
             "schema": SCHEMA,
+            "sweep": self.sweep,
             "scenario": self.scenario,
             "expect_problem": self.expect_problem,
             "base_seed": self.base_seed,
@@ -160,6 +177,7 @@ class SweepReport:
     @classmethod
     def from_json(cls, doc: dict[str, Any]) -> "SweepReport":
         report = cls(
+            sweep=doc["sweep"],
             scenario=doc["scenario"],
             expect_problem=doc["expect_problem"],
             base_seed=doc["base_seed"],
@@ -195,6 +213,13 @@ def validate_report(doc: Any) -> list[str]:
             errors.append(f"missing field {name!r}")
         elif bad_type(doc[name], types):
             errors.append(f"field {name!r} must be {_type_name(types)}")
+    for name in doc:
+        # a typo in a hand-edited report must not pass silently
+        if name not in _TOP_FIELDS:
+            errors.append(
+                f"unknown top-level field {name!r} "
+                f"(allowed: {', '.join(sorted(_TOP_FIELDS))})"
+            )
     if errors:
         return errors
     if doc["schema"] != SCHEMA:

@@ -67,11 +67,20 @@ def execute_point(payload: _PointPayload) -> PointResult:
         expect_suspect is None or expect_suspect in result.suspects
     )
     result.measurements = dict(outcome.measurements)
+    # scenarios that drive a traffic population report it under the
+    # shared "flow_count" measurement key (see docs/WORKLOADS.md)
+    result.flow_count = int(outcome.measurements.get("flow_count", 0))
     if outcome.deployment is not None:
         stats = outcome.deployment.record_stats()
         result.peak_records = stats["peak_records"]
         result.total_records = stats["total_records"]
         result.evicted_records = stats["evicted_records"]
+        run_s = outcome.timings.get("run", 0.0)
+        if run_s > 0:
+            # decoded packets folded into host record tables per
+            # wall-clock second of the run phase — the number the
+            # batched-ingestion path is supposed to move
+            result.ingest_records_per_s = stats["ingested_records"] / run_s
     return result
 
 
@@ -189,6 +198,7 @@ class Sweep:
                         on_point(result)
         points.sort(key=lambda p: p.index)
         return SweepReport(
+            sweep=self.spec.name,
             scenario=self.spec.scenario,
             expect_problem=self.spec.expect_problem,
             base_seed=self.base_seed,

@@ -24,8 +24,9 @@ class TestSweepCli:
     def test_list(self, capsys):
         assert main(["sweep", "list"]) == 0
         out = capsys.readouterr().out
-        assert "incast" in out
-        assert "gray-failure" in out
+        for name in ("incast", "incast-scale", "gray-failure",
+                     "polarization", "link-flap"):
+            assert name in out
 
     def test_run_writes_schema_valid_report(self, tmp_path, capsys):
         code, out = run_cli_sweep(tmp_path)
@@ -58,7 +59,7 @@ class TestSweepCli:
             assert point["measurements"] == single.measurements
 
     def test_unknown_sweep_fails_cleanly(self, capsys):
-        assert main(["sweep", "run", "polarization"]) == 2
+        assert main(["sweep", "run", "no-such-sweep"]) == 2
         assert "no sweep registered" in capsys.readouterr().err
 
     def test_unknown_axis_fails_cleanly(self, capsys):
@@ -94,3 +95,49 @@ class TestSweepCli:
         spec = SWEEPS.get("gray-failure")
         assert doc["grid"] == {
             axis: list(vals) for axis, vals in spec.nightly_grid.items()}
+
+    def test_traffic_scale_sweep_carries_flow_metrics(self, tmp_path):
+        """The acceptance shape: a traffic-axis point reports its flow
+        count and ingest throughput in a schema-valid document."""
+        out = tmp_path / "report.json"
+        code = main(
+            ["sweep", "run", "incast-scale",
+             "--grid", "hosts=64", "--grid", "flows=200",
+             "--workers", "1", "--out", str(out), *FAST])
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert validate_report(doc) == []
+        assert doc["sweep"] == "incast-scale"
+        assert doc["scenario"] == "incast"
+        point = doc["points"][0]
+        assert point["knobs"]["bg_flows"] == 200
+        assert point["flow_count"] >= 200
+        assert point["ingest_records_per_s"] > 0
+        assert doc["summary"]["max_flow_count"] == point["flow_count"]
+
+
+class TestSweepNightlyCli:
+    def test_nightly_writes_one_report_per_sweep(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "nightly", "--out-dir", str(tmp_path),
+             "--workers", "1",
+             "--only", "polarization", "--only", "link-flap"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "2/2 sweeps ok" in printed
+        for name in ("polarization", "link-flap"):
+            path = tmp_path / f"sweep_nightly_{name}.json"
+            assert path.exists(), path
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            assert validate_report(doc) == []
+            spec = SWEEPS.get(name)
+            assert doc["grid"] == {
+                axis: list(vals)
+                for axis, vals in spec.nightly_grid.items()}
+            assert all(p["ok"] for p in doc["points"])
+
+    def test_nightly_unknown_only_fails_cleanly(self, tmp_path, capsys):
+        code = main(["sweep", "nightly", "--out-dir", str(tmp_path),
+                     "--only", "no-such-sweep"])
+        assert code == 2
+        assert "no sweep registered" in capsys.readouterr().err

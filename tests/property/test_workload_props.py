@@ -1,0 +1,95 @@
+"""Property-based tests for workload planning (docs/WORKLOADS.md).
+
+Core claim: the batched planner path — endpoint indices and flow sizes
+drawn in C-level ``random.choices`` batches — produces the *same flow
+population* (sources, destinations, sizes, start times, ports) as the
+naive per-flow reference path for equal seeds, across endpoint mixes,
+population sizes, endpoint subsets, and batch boundaries.  This is the
+contract that lets scenarios use the fast path while tests and docs
+reason about the simple one."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.workload import (MIX_UNIFORM, MIX_ZIPF, FlowPlanner,
+                                   WorkloadSpec)
+
+HOSTS = [f"h{i}" for i in range(12)]
+
+fixed_population_specs = st.builds(
+    WorkloadSpec,
+    n_flows=st.integers(min_value=0, max_value=500),
+    spread_s=st.sampled_from([0.0, 0.004, 0.05]),
+    mix=st.sampled_from([MIX_UNIFORM, MIX_ZIPF]),
+    zipf_s=st.floats(min_value=0.3, max_value=2.5,
+                     allow_nan=False, allow_infinity=False),
+    mean_flow_bytes=st.integers(min_value=2_000, max_value=200_000),
+    min_flow_bytes=st.integers(min_value=200, max_value=2_000),
+    pareto_shape=st.floats(min_value=1.05, max_value=3.0,
+                           allow_nan=False, allow_infinity=False),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+
+poisson_specs = st.builds(
+    WorkloadSpec,
+    arrival_rate_per_s=st.floats(min_value=200.0, max_value=20_000.0,
+                                 allow_nan=False, allow_infinity=False),
+    duration_s=st.sampled_from([0.005, 0.02]),
+    mix=st.sampled_from([MIX_UNIFORM, MIX_ZIPF]),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+
+endpoint_subsets = st.lists(st.sampled_from(HOSTS), unique=True,
+                            min_size=2, max_size=len(HOSTS))
+
+
+def assert_paths_identical(planner: FlowPlanner, t0: float = 0.0):
+    batched = planner.plan(t0)
+    naive = planner.plan_naive(t0)
+    # full structural equality: same flows (src, dst, ports), same
+    # sizes, same start times, same order
+    assert batched == naive
+    assert all(p.flow.src != p.flow.dst for p in batched)
+    return batched
+
+
+class TestBatchedEqualsNaive:
+    @given(spec=fixed_population_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_population_identical(self, spec):
+        assert_paths_identical(FlowPlanner(spec, HOSTS, HOSTS))
+
+    @given(spec=poisson_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_poisson_arrivals_identical(self, spec):
+        assert_paths_identical(FlowPlanner(spec, HOSTS, HOSTS),
+                               t0=0.003)
+
+    @given(spec=fixed_population_specs, senders=endpoint_subsets,
+           receivers=endpoint_subsets)
+    @settings(max_examples=40, deadline=None)
+    def test_endpoint_subsets_identical(self, spec, senders, receivers):
+        assert_paths_identical(FlowPlanner(spec, senders, receivers))
+
+    @given(spec=fixed_population_specs,
+           batch=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_any_batch_boundary_identical(self, spec, batch):
+        """The plan must not depend on where batches split."""
+        small = FlowPlanner(spec, HOSTS, HOSTS)
+        small.BATCH = batch  # instance attribute shadows the class one
+        planner = FlowPlanner(spec, HOSTS, HOSTS)
+        assert small.plan() == planner.plan() == planner.plan_naive()
+
+    @given(spec=fixed_population_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_plans_stable_across_planner_instances(self, spec):
+        a = FlowPlanner(spec, HOSTS, HOSTS).plan()
+        b = FlowPlanner(spec, HOSTS, HOSTS).plan()
+        assert a == b
+
+    @given(spec=fixed_population_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_sizes_respect_bounds(self, spec):
+        for p in FlowPlanner(spec, HOSTS, HOSTS).plan():
+            assert (spec.min_flow_bytes <= p.size_bytes
+                    <= spec.max_flow_bytes)

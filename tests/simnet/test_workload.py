@@ -3,7 +3,8 @@
 import pytest
 
 from repro.simnet.topology import build_leaf_spine
-from repro.simnet.workload import WorkloadGenerator, WorkloadSpec
+from repro.simnet.workload import (FlowPlanner, WorkloadGenerator,
+                                   WorkloadSpec)
 
 
 def fabric():
@@ -78,6 +79,96 @@ class TestGeneration:
         net.run(until=0.2)
         delivered = sum(h.rx_packets for h in net.hosts.values())
         assert delivered >= len(flows)  # every flow landed >= 1 packet
+
+
+class TestFixedPopulation:
+    """The n_flows mode behind the sweep flows= axis."""
+
+    def test_exact_population_size(self):
+        spec = WorkloadSpec(n_flows=250, seed=4)
+        plan = FlowPlanner(spec, ["a", "b", "c"], ["a", "b", "c"]).plan()
+        assert len(plan) == 250
+
+    def test_starts_within_spread_window(self):
+        spec = WorkloadSpec(n_flows=100, spread_s=0.02, seed=5)
+        plan = FlowPlanner(spec, ["a", "b"], ["a", "b"]).plan(t0=0.5)
+        assert all(0.5 <= p.start <= 0.52 for p in plan)
+
+    def test_zero_spread_starts_together(self):
+        spec = WorkloadSpec(n_flows=40, spread_s=0.0, seed=6)
+        plan = FlowPlanner(spec, ["a", "b"], ["a", "b"]).plan(t0=0.1)
+        assert {p.start for p in plan} == {0.1}
+
+    def test_zipf_mix_skews_toward_low_ranks(self):
+        hosts = [f"h{i}" for i in range(12)]
+        spec = WorkloadSpec(n_flows=3000, mix="zipf", zipf_s=1.1, seed=7)
+        plan = FlowPlanner(spec, hosts, hosts).plan()
+        srcs = [p.flow.src for p in plan]
+        assert srcs.count("h0") > 4 * srcs.count("h11")
+
+    def test_unique_ports_per_flow(self):
+        spec = WorkloadSpec(n_flows=50, seed=8)
+        plan = FlowPlanner(spec, ["a", "b"], ["a", "b"]).plan()
+        assert len({p.flow.sport for p in plan}) == 50
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            WorkloadSpec(mix="bimodal")
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_flows=-1)
+
+    def test_sole_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            FlowPlanner(WorkloadSpec(n_flows=1), ["a"], ["a"])
+
+
+class TestBatchedLaunch:
+    """The single-emitter materialization path (BackgroundTraffic)."""
+
+    def launch(self, n=120, **kw):
+        net = fabric()
+        spec = WorkloadSpec(n_flows=n, spread_s=0.01,
+                            mean_flow_bytes=4000, min_flow_bytes=300,
+                            max_flow_bytes=20_000, packet_size=1000,
+                            flow_rate_bps=2e7, seed=10, **kw)
+        gen = WorkloadGenerator(net, spec)
+        return net, gen, gen.launch()
+
+    def test_every_flow_delivers_at_least_one_packet(self):
+        net, gen, bg = self.launch()
+        net.run(until=0.2)
+        assert bg.n_flows == 120
+        assert bg.packets_sent >= 120
+        assert bg.delivered >= 120
+        # nothing left pending once every flow drained
+        assert not bg._heap
+
+    def test_flows_match_the_plan(self):
+        net, gen, bg = self.launch()
+        assert [f.flow for f in gen.flows] == [p.flow for p in bg.plans]
+        assert gen.size_percentiles()[50] > 0
+
+    def test_stop_halts_emission(self):
+        net, gen, bg = self.launch()
+        net.run(until=0.001)
+        sent_at_stop = bg.packets_sent
+        bg.stop()
+        net.run(until=0.2)
+        assert bg.packets_sent == sent_at_stop
+
+    def test_naive_schedule_carries_same_population(self):
+        """schedule() (one source per flow) and launch() (one emitter)
+        materialize the same planned flows."""
+        net1 = fabric()
+        net2 = fabric()
+        spec = WorkloadSpec(n_flows=60, spread_s=0.005, seed=11)
+        naive = WorkloadGenerator(net1, spec).schedule()
+        batched = WorkloadGenerator(net2, spec)
+        batched.launch()
+        assert [(f.flow, f.size_bytes, f.start) for f in naive] == \
+            [(f.flow, f.size_bytes, f.start) for f in batched.flows]
 
 
 class TestHeavyTail:

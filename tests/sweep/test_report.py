@@ -18,15 +18,18 @@ def make_report() -> SweepReport:
             wall_time_s=0.25 + i,
             phase_s={"build": 0.1, "run": 0.1},
             sim_time_s=0.06,
+            flow_count=200 * (i + 1),
             peak_records=9,
             total_records=9,
             evicted_records=0,
+            ingest_records_per_s=1500.5,
             measurements={"alerts": 1},
             error=None if i != 2 else "ValueError: boom",
         )
         for i in range(3)
     ]
     return SweepReport(
+        sweep="incast",
         scenario="incast",
         expect_problem="incast",
         base_seed=1729,
@@ -56,6 +59,7 @@ class TestRoundTrip:
         assert summary["ok"] == 1  # point 1 misdiagnosed, point 2 errored
         assert summary["diagnosis_failures"] == 1
         assert summary["errors"] == 1
+        assert summary["max_flow_count"] == 600
 
     def test_ok_requires_no_error_and_correct_diagnosis(self):
         report = make_report()
@@ -99,3 +103,19 @@ class TestValidator:
         doc = make_report().to_json()
         doc["summary"]["points"] = 99
         assert any("summary.points" in e for e in validate_report(doc))
+
+    def test_rejects_unknown_top_level_key_naming_it(self):
+        """A typo in a hand-edited report must fail loudly, naming the
+        offending key — not be silently tolerated."""
+        doc = make_report().to_json()
+        doc["expect_probelm"] = "incast"  # the classic transposition
+        errors = validate_report(doc)
+        assert any("unknown top-level field 'expect_probelm'" in e
+                   for e in errors)
+
+    def test_unknown_key_error_lists_allowed_fields(self):
+        doc = make_report().to_json()
+        doc["bogus"] = 1
+        (error,) = [e for e in validate_report(doc) if "bogus" in e]
+        assert "allowed:" in error
+        assert "scenario" in error

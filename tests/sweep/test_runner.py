@@ -16,13 +16,43 @@ FAST = {"duration": 0.02, "burst_start": 0.008}
 
 class TestRegistry:
     def test_sweeps_registered_next_to_scenarios(self):
-        assert "incast" in SWEEPS
-        assert "gray-failure" in SWEEPS
-        assert len(SWEEPS) >= 2
+        for name in ("incast", "incast-scale", "gray-failure",
+                     "polarization", "link-flap"):
+            assert name in SWEEPS
+        assert len(SWEEPS) >= 5
+
+    def test_several_sweeps_may_share_a_scenario(self):
+        """incast-scale is a second sweep of the incast scenario, along
+        the traffic axis instead of the fabric axis."""
+        fabric = SWEEPS.get("incast")
+        traffic = SWEEPS.get("incast-scale")
+        assert fabric.scenario == traffic.scenario == "incast"
+        assert fabric.name != traffic.name
+        assert traffic.knobs_for({"flows": 2000})["bg_flows"] == 2000
 
     def test_unknown_sweep_rejected(self):
         with pytest.raises(SweepError, match="no sweep registered"):
             SWEEPS.get("no-such-sweep")
+
+    def test_duplicate_name_rejected(self):
+        from repro.sweep.registry import SweepSpec
+
+        with pytest.raises(SweepError, match="duplicate sweep name"):
+            SWEEPS.register(SweepSpec(
+                scenario="incast", summary="dup", expect_problem="incast",
+                axes={"hosts": "hosts"}, default_grid={"hosts": (64,)},
+                nightly_grid={"hosts": (64,)}))
+
+    def test_nightly_grid_is_mandatory(self):
+        """`sweep nightly` runs every registered spec — a spec it could
+        not run would silently shrink the scheduled CI coverage."""
+        from repro.sweep.registry import SweepSpec
+
+        with pytest.raises(SweepError, match="nightly grid"):
+            SWEEPS.register(SweepSpec(
+                scenario="incast", name="incast-no-nightly",
+                summary="x", expect_problem="incast",
+                axes={"hosts": "hosts"}, default_grid={"hosts": (64,)}))
 
     def test_axes_resolve_to_knobs(self):
         spec = SWEEPS.get("incast")
@@ -77,6 +107,23 @@ class TestExecution:
         assert report.points[0].error is not None
         assert not report.all_ok
 
+    def test_traffic_axis_populates_flow_metrics(self):
+        """flows= drives a background population, and the point records
+        how many flows ran and the ingest throughput they produced."""
+        spec = SWEEPS.get("incast-scale")
+        sweep = Sweep(spec, {"hosts": [64], "flows": [300]}, workers=1,
+                      extra_knobs=FAST)
+        report = sweep.run()
+        point = report.points[0]
+        assert point.ok, point.error or point.problems
+        assert point.flow_count >= 300
+        assert point.ingest_records_per_s > 0
+        assert point.measurements["bg_packets_delivered"] > 0
+        # more flows -> more records ingested than the bare scenario
+        bare = Sweep(spec, {"hosts": [64], "flows": [0]}, workers=1,
+                     extra_knobs=FAST).run().points[0]
+        assert point.total_records > bare.total_records
+
     def test_seeds_stable_per_index(self):
         spec = SWEEPS.get("incast")
         sweep = Sweep(spec, {"hosts": [64, 128]}, base_seed=42)
@@ -88,14 +135,14 @@ class TestExecution:
         name the injected switch, else localization regressions would
         pass the gate silently."""
         spec = SWEEPS.get("gray-failure")
-        sweep = Sweep(spec, {"flows": [2]}, workers=1,
+        sweep = Sweep(spec, {"victims": [2]}, workers=1,
                       extra_knobs={"duration": 0.04})
         assert sweep.payloads[0][4] == "S3"  # default fault_switch
         report = sweep.run()
         assert report.all_ok
         assert "S3" in report.points[0].suspects
         # an expectation that cannot be met flips diagnosis_ok
-        wrong = Sweep(spec, {"flows": [2]}, workers=1,
+        wrong = Sweep(spec, {"victims": [2]}, workers=1,
                       extra_knobs={"duration": 0.04,
                                    "fault_switch": "S2"})
         assert wrong.payloads[0][4] == "S2"

@@ -37,10 +37,23 @@ class TestSweepCatalog:
     def test_every_sweep_documented(self):
         page = (REPO / "docs" / "SWEEPS.md").read_text(encoding="utf-8")
         for spec in SWEEPS.specs():
-            assert f"## `{spec.scenario}`" in page
+            assert f"## `{spec.name}`" in page
             assert spec.summary in page
             for axis in spec.axes:
                 assert f"`{axis}`" in page
+
+    def test_page_documents_grids_and_nightly_driver(self):
+        page = (REPO / "docs" / "SWEEPS.md").read_text(encoding="utf-8")
+        assert "sweep nightly" in page
+        assert "| axis | binds knob | default grid | nightly grid |" in page
+        for spec in SWEEPS.specs():
+            for axis, values in spec.default_grid.items():
+                assert ",".join(str(v) for v in values) in page
+        # the traffic axis and its per-point report fields
+        assert "`flows`" in page
+        assert "`flow_count`" in page
+        assert "`ingest_records_per_s`" in page
+        assert "WORKLOADS.md" in page
 
     def test_generator_check_mode_passes(self):
         proc = subprocess.run(
@@ -52,6 +65,62 @@ class TestSweepCatalog:
     def test_readme_links_sweeps_doc(self):
         readme = (REPO / "README.md").read_text(encoding="utf-8")
         assert "docs/SWEEPS.md" in readme
+
+
+class TestWorkloadsPage:
+    def test_exists_and_covers_the_model(self):
+        page = (REPO / "docs" / "WORKLOADS.md").read_text(
+            encoding="utf-8")
+        for anchor in ("WorkloadSpec", "zipf", "bounded-Pareto",
+                       "bg_flows", "BackgroundTraffic", "plan_naive",
+                       "flows="):
+            assert anchor in page
+
+    def test_linked_from_readme_and_architecture(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/WORKLOADS.md" in readme
+        arch = (REPO / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8")
+        assert "WORKLOADS.md" in arch
+
+
+class TestBenchmarksPage:
+    def test_benchmarks_md_matches_baselines(self):
+        """docs/BENCHMARKS.md must be regenerated when the committed
+        baselines change (python tools/gen_bench_docs.py)."""
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            from gen_bench_docs import benchmarks_markdown
+        finally:
+            sys.path.pop(0)
+        page = (REPO / "docs" / "BENCHMARKS.md").read_text(
+            encoding="utf-8")
+        assert page == benchmarks_markdown()
+
+    def test_every_baseline_documented(self):
+        page = (REPO / "docs" / "BENCHMARKS.md").read_text(
+            encoding="utf-8")
+        baselines = sorted(
+            (REPO / "benchmarks" / "baselines").glob("*.json"))
+        assert baselines
+        import json
+
+        for path in baselines:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            assert f"## `{path.stem}`" in page
+            for metric in doc["metrics"]:
+                assert f"`{metric}`" in page
+
+    def test_generator_check_mode_passes(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "gen_bench_docs.py"),
+             "--check"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_readme_links_benchmarks_doc(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/BENCHMARKS.md" in readme
 
 
 class TestArchitecturePage:
