@@ -73,6 +73,15 @@ class Analyzer:
 
     # -- pointer retrieval -----------------------------------------------------
 
+    def is_instrumented(self, switch: str) -> bool:
+        """Does ``switch`` currently run SwitchPointer?
+
+        False for switches a partial deployment never covered (or an
+        instrumentation outage stripped): they publish no pointers, and
+        evidence about them must come from end-hosts alone.
+        """
+        return switch in self.switch_agents
+
     def hosts_for(self, switch: str, epochs: EpochRange, *,
                   level: Optional[int] = 1,
                   offline: bool = False) -> list[str]:
@@ -81,8 +90,19 @@ class Analyzer:
         ``level=None`` selects automatically: the finest hierarchy level
         still covering the window, falling back to the pushed offline
         history (§4.1.1's intended access pattern).
+
+        An *uninstrumented* switch (partial deployment) has no pointer
+        to decode; the fallback is host-only evidence — every known
+        host is a candidate, and the caller's topology pruning / record
+        filters do the narrowing the pointer would have done.  A name
+        that is no switch at all still raises (a typo must not come
+        back as a plausible all-hosts answer).
         """
-        agent = self.switch_agents[switch]
+        agent = self.switch_agents.get(switch)
+        if agent is None:
+            if switch not in self.network.switches:
+                raise KeyError(switch)
+            return sorted(self.host_agents)
         if offline:
             slots = agent.offline_slots(epochs.lo, epochs.hi)
         elif level is None:

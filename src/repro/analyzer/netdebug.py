@@ -37,6 +37,9 @@ class DropLocalization:
     forwarding: list[str] = field(default_factory=list)
     #: switches past the cut that never saw the flow in the window
     silent: list[str] = field(default_factory=list)
+    #: on-path switches with no pointer to consult (partial deployment):
+    #: evidence gaps, counted on neither side of the cut
+    uninstrumented: list[str] = field(default_factory=list)
     #: (last forwarding switch, first silent switch) — the faulty hop
     suspect_hop: Optional[tuple[str, str]] = None
     breakdown: Breakdown = field(default_factory=Breakdown)
@@ -57,28 +60,38 @@ def localize_packet_drops(analyzer: Analyzer, flow: FlowKey,
     first on-path switch whose pointer does *not* name the destination
     in the window marks the downstream side of the cut.
     """
+    # uninstrumented switches (partial deployment) have no pointer to
+    # pull: they are evidence *gaps*, excluded from the cut computation
+    # rather than misread as silent — the boundary is found over the
+    # instrumented subsequence, so localization coarsens (the suspect
+    # hop may span a gap) but never flips sides
+    evidenced = [sw for sw in switch_path if analyzer.is_instrumented(sw)]
+    uninstrumented = [sw for sw in switch_path
+                      if not analyzer.is_instrumented(sw)]
     bd = Breakdown()
     bd.add("pointer_retrieval",
-           analyzer.rpc.pointer_pull_cost(len(switch_path)))
+           analyzer.rpc.pointer_pull_cost(len(evidenced)))
     forwarding, silent = [], []
-    for sw in switch_path:
+    for sw in evidenced:
         hosts = analyzer.hosts_for(sw, epochs, level=level)
         if flow.dst in hosts:
             forwarding.append(sw)
         else:
             silent.append(sw)
     suspect: Optional[tuple[str, str]] = None
-    for here, nxt in zip(switch_path, switch_path[1:]):
+    for here, nxt in zip(evidenced, evidenced[1:]):
         if here in forwarding and nxt in silent:
             suspect = (here, nxt)
             break
     if suspect is None and forwarding and silent:
         suspect = (forwarding[-1], silent[0])
-    if suspect is None and not forwarding and switch_path:
-        # nothing forwarded at all: fault is upstream of the first hop
-        suspect = (flow.src, switch_path[0])
+    if suspect is None and not forwarding and evidenced:
+        # nothing forwarded at all: fault is upstream of the first
+        # evidenced hop
+        suspect = (flow.src, evidenced[0])
     return DropLocalization(flow=flow, epochs=epochs,
                             forwarding=forwarding, silent=silent,
+                            uninstrumented=uninstrumented,
                             suspect_hop=suspect, breakdown=bd)
 
 

@@ -10,12 +10,14 @@ Usage::
     python -m repro.cli sweep run incast --grid hosts=64,256,1024
     python -m repro.cli sweep run incast-scale --grid hosts=256 flows=2000
     python -m repro.cli sweep nightly            # every sweep, reduced grid
+    python -m repro.cli faults list              # registered faults
     python -m repro.cli sizing --hosts 100000 --alpha 10 --k 3
 
-``list``, ``run``, and ``sweep`` are driven entirely by the scenario
-and sweep registries (:mod:`repro.scenarios`, :mod:`repro.sweep`):
-registering a new scenario class or sweep spec makes it appear here
-with no CLI edits.  The historical figure ids (``fig2a``, ``fig3``,
+``list``, ``run``, ``sweep``, and ``faults`` are driven entirely by
+the scenario, sweep, and fault registries (:mod:`repro.scenarios`,
+:mod:`repro.sweep`, :mod:`repro.faults`): registering a new scenario
+class, sweep spec, or fault class makes it appear here with no CLI
+edits.  The historical figure ids (``fig2a``, ``fig3``,
 ...) remain available both as registry aliases to ``run`` and as
 standalone subcommands that print the original sweep tables.
 
@@ -37,6 +39,7 @@ from .analyzer.apps import (diagnose_contention, diagnose_load_imbalance,
 from .core.epoch import EpochRange
 from .core.sizing import (push_bandwidth_bps, recycling_period_ms,
                           total_switch_memory_bytes)
+from .faults import FAULTS
 from .scenarios import (REGISTRY, ScenarioError, run_cascades_scenario,
                         run_contention_scenario,
                         run_load_imbalance_scenario,
@@ -118,6 +121,22 @@ def cmd_run(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# faults (registry-driven, like run/list)
+# ---------------------------------------------------------------------------
+
+def cmd_faults_list(_args) -> int:
+    print("faults (composable via scenario knobs / FaultPlan; "
+          "docs/FAULTS.md):")
+    for spec in FAULTS.specs():
+        params = ",".join(spec.params) or "-"
+        print(f"  {spec.name:20s} params: {params}")
+        print(f"  {'':20s} {spec.summary}")
+    print(f"{len(FAULTS)} fault(s) registered; every fault also takes "
+          f"start= and stop=")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # scale sweeps (registry-driven, like run/list)
 # ---------------------------------------------------------------------------
 
@@ -175,13 +194,16 @@ def cmd_sweep_run(args) -> int:
         # flows=2000`; argparse hands us one list per flag
         exprs = [expr for group in args.grid for expr in group]
         grid = parse_grid(exprs) if exprs else None
+        extra_points = None
         if getattr(args, "nightly", False) and grid is None:
             # registration guarantees every spec declares a nightly grid
             grid = {axis: list(vals)
                     for axis, vals in spec.nightly_grid.items()}
+            extra_points = [dict(p) for p in spec.nightly_points]
         sweep = Sweep(spec, grid, workers=args.workers,
                       base_seed=args.seed,
-                      extra_knobs=_parse_knobs(args.knob))
+                      extra_knobs=_parse_knobs(args.knob),
+                      extra_points=extra_points)
     except (SweepError, GridError, ScenarioError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -220,14 +242,19 @@ def cmd_sweep_nightly(args) -> int:
                 for axis, vals in spec.nightly_grid.items()}
         try:
             sweep = Sweep(spec, grid, workers=args.workers,
-                          base_seed=args.seed)
+                          base_seed=args.seed,
+                          extra_points=[dict(p)
+                                        for p in spec.nightly_points])
         except (SweepError, GridError, ScenarioError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             failed.append(name)
             continue
         nightly = " ".join(f"{axis}={','.join(str(v) for v in vals)}"
                            for axis, vals in grid.items())
-        print(f"sweep {name} (nightly grid {nightly}): "
+        extra = "".join(
+            " +" + ",".join(f"{a}={v}" for a, v in point.items())
+            for point in spec.nightly_points)
+        print(f"sweep {name} (nightly grid {nightly}{extra}): "
               f"{len(sweep.params)} points, {sweep.workers} worker(s)")
         report = sweep.run(on_point=_show_point)
         out = out_dir / f"sweep_nightly_{name}.json"
@@ -375,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restrict to this sweep (repeatable; "
                           "default: all registered)")
 
+    pfaults = sub.add_parser("faults", help="composable fault injection: "
+                                            "inspect the fault registry")
+    faults_sub = pfaults.add_subparsers(dest="faults_command",
+                                        required=True)
+    faults_sub.add_parser("list", help="list registered faults")
+
     for fig in ("fig2a", "fig2b", "fig7"):
         p = sub.add_parser(fig, help=LEGACY_FIGURES[fig])
         p.add_argument("--flows", type=int, nargs="+",
@@ -399,6 +432,8 @@ def main(argv=None) -> int:
         if args.sweep_command == "nightly":
             return cmd_sweep_nightly(args)
         return cmd_sweep_run(args)
+    if args.command == "faults":
+        return cmd_faults_list(args)
     dispatch = {
         "list": cmd_list,
         "run": cmd_run,

@@ -47,6 +47,17 @@ class EpochClock:
         self.alpha_ms = alpha_ms
         self.skew_s = skew_s
 
+    def set_skew(self, skew_s: float) -> None:
+        """Re-offset this clock at runtime (the clock-skew fault hook).
+
+        Every consumer holding the clock — pointer store rotation,
+        telemetry decoder, triggers — sees the new offset on its next
+        ``epoch_of``/``local_time`` call; nothing is cached.
+        """
+        if not math.isfinite(skew_s):
+            raise ValueError(f"skew must be finite, got {skew_s!r}")
+        self.skew_s = skew_s
+
     @property
     def alpha_s(self) -> float:
         return self.alpha_ms / 1000.0

@@ -119,6 +119,11 @@ class SwitchPointerDeployment:
                 record_shards=record_shards,
                 ingest_batch=ingest_batch)
 
+        #: stripped-switch stash: name -> (datapath, agent), maintained
+        #: by uninstrument_switch/reinstrument_switch
+        self._stripped: dict[str, tuple[SwitchPointerDatapath,
+                                        SwitchAgent]] = {}
+
         rpc_fabric = rpc if rpc is not None else RpcFabric(latency_model)
         self.analyzer = Analyzer(
             network=network, directory=self.directory,
@@ -135,6 +140,40 @@ class SwitchPointerDeployment:
             self.control_store.ingest(_name, snap)
 
         store.on_push = on_push
+
+    # -- partial deployment (the partial-deployment fault) ---------------------
+
+    def uninstrument_switch(self, name: str) -> None:
+        """Strip SwitchPointer off one switch: detach the datapath hook
+        and withdraw the control-plane agent.
+
+        The analyzer sees the withdrawal immediately (it shares the
+        ``switch_agents`` dict) and falls back to host-only evidence for
+        this switch.  The stripped objects are stashed so
+        :meth:`reinstrument_switch` can restore them exactly.
+        """
+        if name in self._stripped:
+            raise ValueError(f"switch {name!r} is already uninstrumented")
+        dp = self.datapaths.pop(name)
+        agent = self.switch_agents.pop(name)
+        self.network.switches[name].pipeline.remove(dp._hook)
+        self._stripped[name] = (dp, agent)
+
+    def reinstrument_switch(self, name: str) -> None:
+        """Reinstall a switch stripped by :meth:`uninstrument_switch`."""
+        try:
+            dp, agent = self._stripped.pop(name)
+        except KeyError:
+            raise ValueError(
+                f"switch {name!r} was not uninstrumented") from None
+        self.network.switches[name].pipeline.append(dp._hook)
+        self.datapaths[name] = dp
+        self.switch_agents[name] = agent
+
+    @property
+    def uninstrumented_switches(self) -> list[str]:
+        """Switches currently running without SwitchPointer."""
+        return sorted(self._stripped)
 
     # -- conveniences ----------------------------------------------------------
 

@@ -1,0 +1,86 @@
+"""Partial-deployment fault: strip SwitchPointer off some switches.
+
+The paper assumes every switch runs the datapath; real rollouts do not.
+This fault removes the instrumentation — pipeline hook, pointer store,
+control-plane agent — from a fraction of switches (an incremental
+deployment, or an instrumentation outage when scheduled mid-run).  The
+analyzer keeps working from *host-only evidence* for the stripped
+switches: pointer pulls fall back to consulting every host, and drop
+localization treats them as evidence gaps rather than silent hops (see
+``Analyzer.hosts_for`` and ``localize_packet_drops``).
+
+Selection is seeded by the process RNG, so a sweep point's mask is
+reproducible from its recorded seed; ``spare`` pins switches that must
+stay instrumented (e.g. the CherryPick embedding hop, without which no
+host records exist at all).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import Fault, FaultContext, FaultError, FaultParam, FaultSpec, register_fault
+
+
+def parse_spare(spare) -> tuple[str, ...]:
+    """``spare`` may be a comma string (CLI knob) or an iterable."""
+    if isinstance(spare, str):
+        return tuple(s.strip() for s in spare.split(",") if s.strip())
+    return tuple(spare)
+
+
+@register_fault
+class PartialDeploymentFault(Fault):
+    """Uninstrument a random fraction of switches (keeping ``frac``).
+
+    ``frac`` is the fraction of switches that *keep* their
+    instrumentation; the stripped count is ``round((1-frac)·n)``,
+    drawn from the non-spared switches.  Healing reinstates the exact
+    datapaths and agents that were removed (their pointer stores kept
+    accumulating nothing while detached, mirroring a real redeploy).
+    """
+
+    spec = FaultSpec(
+        name="partial-deployment",
+        summary="remove switchd instrumentation from a fraction of "
+        "switches; the analyzer falls back to host-only evidence",
+        degrades="switch evidence: stripped switches publish no pointers, "
+        "widening consult fan-out and coarsening drop localization",
+        diagnosed_by="(none — a stressor; sweeps measure accuracy vs "
+        "deployment fraction)",
+        params={
+            "frac": FaultParam(1.0, "fraction of switches keeping instrumentation"),
+            "spare": FaultParam("", "switches never stripped (comma-separated names)"),
+        },
+    )
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        frac = self.p["frac"]
+        if not 0.0 <= frac <= 1.0:
+            raise FaultError(f"partial-deployment: frac must be in [0, 1], got {frac}")
+        self.removed: tuple[str, ...] = ()
+
+    def inject(self, ctx: FaultContext) -> None:
+        deploy = ctx.require_deployment(self)
+        spare = set(parse_spare(self.p["spare"]))
+        unknown = spare - set(ctx.network.switches)
+        if unknown:
+            raise FaultError(
+                f"partial-deployment: spare names unknown switch(es) "
+                f"{sorted(unknown)}"
+            )
+        all_switches = sorted(deploy.datapaths)
+        candidates = [s for s in all_switches if s not in spare]
+        n_remove = min(
+            len(candidates), round((1.0 - self.p["frac"]) * len(all_switches))
+        )
+        self.removed = tuple(sorted(random.sample(candidates, n_remove)))
+        for name in self.removed:
+            deploy.uninstrument_switch(name)
+
+    def heal(self, ctx: FaultContext) -> None:
+        deploy = ctx.require_deployment(self)
+        for name in self.removed:
+            deploy.reinstrument_switch(name)
+        self.removed = ()

@@ -1,0 +1,135 @@
+"""Link faults: one-shot outage and periodic flap.
+
+Extracted from the link-flap scenario's inline wiring: both faults
+model the gap between a physical transition and control-plane
+reconvergence (``reconverge_delay``) — packets already committed to a
+dead link during that window are lost, which is what drives the
+retransmit cascades the flap scenario studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simnet.topology import LinkFlapper
+from .base import Fault, FaultContext, FaultError, FaultParam, FaultSpec, register_fault
+
+
+def _require_link(ctx: FaultContext, fault: Fault, a: str, b: str) -> None:
+    if not a or not b:
+        raise FaultError(f"fault {fault.spec.name!r} needs both link endpoints a=, b=")
+    ctx.network.link_between(a, b)  # raises TopologyError if absent
+
+
+@register_fault
+class LinkDownFault(Fault):
+    """Take one link down at ``start``; bring it back at ``stop`` (if set).
+
+    The transition is physical-first: forwarding state keeps pointing at
+    the dead link for ``reconverge_delay`` seconds (the blackhole
+    window), then routes recompute around it.  Telemetry signature:
+    every flow hashed to the dead egress detours — its host records
+    accumulate epoch ranges at *both* egress switches, which is what
+    :func:`repro.analyzer.apps.diagnose_link_flap` keys on.
+    """
+
+    spec = FaultSpec(
+        name="link-down",
+        summary="one-shot link outage with delayed routing reconvergence",
+        degrades="connectivity: strands in-flight packets until routes "
+        "reconverge, then forces a reroute (and a reroute back on repair)",
+        diagnosed_by="diagnose_link_flap (the dead egress is the churned one)",
+        params={
+            "a": FaultParam("", "one link endpoint (node name)"),
+            "b": FaultParam("", "the other link endpoint"),
+            "reconverge_delay": FaultParam(
+                0.002, "control-plane convergence lag after each transition (s)"
+            ),
+        },
+    )
+
+    def schedule(self, ctx: FaultContext) -> None:
+        _require_link(ctx, self, self.p["a"], self.p["b"])
+        super().schedule(ctx)
+
+    def _transition(self, ctx: FaultContext, *, up: bool) -> None:
+        net = ctx.network
+        net.set_link_state(self.p["a"], self.p["b"], up, reconverge=False)
+        delay = self.p["reconverge_delay"]
+        if delay > 0:
+            net.sim.schedule(delay, net.compute_routes)
+        else:
+            net.compute_routes()
+
+    def inject(self, ctx: FaultContext) -> None:
+        self._transition(ctx, up=False)
+
+    def heal(self, ctx: FaultContext) -> None:
+        self._transition(ctx, up=True)
+
+
+@register_fault
+class LinkFlapFault(Fault):
+    """Oscillate one link down/up from ``start`` until ``stop``.
+
+    Wraps :class:`repro.simnet.topology.LinkFlapper` (the scenario
+    code's original injector): the first down transition fires at
+    ``start``, each dwell is ``down_for``/``up_for``, and healing stops
+    the flapper and restores the link if it died mid-outage.
+    """
+
+    spec = FaultSpec(
+        name="link-flap",
+        summary="periodic down/up churn on one link (transceiver flap)",
+        degrades="connectivity, repeatedly: every cycle strands packets "
+        "for the reconvergence window and reroutes the link's flows",
+        diagnosed_by="diagnose_link_flap",
+        params={
+            "a": FaultParam("", "one link endpoint (node name)"),
+            "b": FaultParam("", "the other link endpoint"),
+            "down_for": FaultParam(0.006, "down dwell per flap (s)"),
+            "up_for": FaultParam(0.010, "up dwell per flap (s)"),
+            "reconverge_delay": FaultParam(
+                0.002, "control-plane convergence lag after each transition (s)"
+            ),
+        },
+    )
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.flapper: Optional[LinkFlapper] = None
+
+    def schedule(self, ctx: FaultContext) -> None:
+        _require_link(ctx, self, self.p["a"], self.p["b"])
+        super().schedule(ctx)
+
+    def inject(self, ctx: FaultContext) -> None:
+        # the flapper owns the periodic process; its first down
+        # transition is immediate (the plan already delayed us to start)
+        self.flapper = LinkFlapper(
+            ctx.network,
+            self.p["a"],
+            self.p["b"],
+            down_for=self.p["down_for"],
+            up_for=self.p["up_for"],
+            start_delay=0.0,
+            reconverge_delay=self.p["reconverge_delay"],
+        )
+
+    def heal(self, ctx: FaultContext) -> None:
+        assert self.flapper is not None
+        self.flapper.stop()
+        link = self.flapper.link
+        if not link.up:
+            ctx.network.set_link_state(self.p["a"], self.p["b"], True)
+
+    def finalize(self, ctx: FaultContext) -> None:
+        # stop the periodic process; the link stays in whatever state
+        # the last transition left it (diagnosis sees the fault as-is)
+        if self.flapper is not None:
+            self.flapper.stop()
+
+    @property
+    def flaps(self) -> int:
+        """Completed down/up cycles so far (0 before injection)."""
+        return self.flapper.flaps if self.flapper is not None else 0

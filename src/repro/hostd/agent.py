@@ -76,10 +76,17 @@ class HostAgent:
                                  before_query=self.flush_ingest)
         self.triggers: list[ThroughputDropTrigger] = []
         self.timeout_triggers: list[TcpTimeoutTrigger] = []
-        if ingest_batch > 1:
-            host.sniffers.append(self._buffer_packet)
-        else:
-            host.sniffers.append(self.decoder.on_packet)
+        #: every sniffer callback this agent registered, so a crash can
+        #: detach (and a restart re-attach) exactly its own hooks
+        self._sniffers: list = []
+        self.alive = True
+        self._add_sniffer(self._buffer_packet if ingest_batch > 1
+                          else self.decoder.on_packet)
+
+    def _add_sniffer(self, cb) -> None:
+        self._sniffers.append(cb)
+        if self.alive:
+            self.host.sniffers.append(cb)
 
     @property
     def name(self) -> str:
@@ -122,7 +129,7 @@ class HostAgent:
             slack_epochs=self.decoder.estimator.span_epochs(1))
         self.triggers.append(trig)
         # feed the trigger from the same sniffer stream the decoder uses
-        self.host.sniffers.append(
+        self._add_sniffer(
             lambda _host, pkt, now: trig.on_packet(pkt, now))
         return trig
 
@@ -139,6 +146,31 @@ class HostAgent:
             trig.stop()
         for trig in self.timeout_triggers:
             trig.stop()
+
+    # -- crash / restart (the agent-crash fault) -----------------------------
+
+    def crash(self) -> int:
+        """Kill the daemon: stop sniffing, lose all in-memory telemetry.
+
+        Everything a real agent process holds in RAM dies with it: the
+        record table, the batched-ingest buffer.  The disk spill file
+        (if any) survives, as it would.  Returns the number of records
+        lost.  Idempotent — a crash of a dead agent loses nothing.
+        """
+        if not self.alive:
+            return 0
+        self.alive = False
+        for cb in self._sniffers:
+            self.host.sniffers.remove(cb)
+        self._pending.clear()
+        return self.store.drop_all()
+
+    def restart(self) -> None:
+        """Supervisor restart: resume sniffing with an empty table."""
+        if self.alive:
+            return
+        self.alive = True
+        self.host.sniffers.extend(self._sniffers)
 
     # -- storage --------------------------------------------------------------
 

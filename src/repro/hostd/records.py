@@ -335,6 +335,20 @@ class FlowRecordStore:
             self._unindex_record(rec)
             self.evicted += 1
 
+    def drop_all(self) -> int:
+        """Lose every in-memory record without spilling (crash loss).
+
+        Unlike eviction this is not an orderly spill: nothing reaches
+        disk and the ``evicted``/``spilled`` counters are untouched —
+        the records are simply gone, which is what the agent-crash
+        fault models.  Returns how many were lost.
+        """
+        lost = len(self._records)
+        self._records.clear()
+        self._by_switch.clear()
+        self._sorted.clear()
+        return lost
+
     def _notify_read(self) -> None:
         if self.before_read is not None:
             self.before_read()

@@ -170,6 +170,28 @@ class ShardedRecordStore:
 
     # -- lookup / iteration ----------------------------------------------------
 
+    def drop_all(self) -> int:
+        """Lose every in-memory record in every shard (crash loss)."""
+        lost = 0
+        for i in range(self.n_shards):
+            lost += self.drop_shard(i)
+        return lost
+
+    def drop_shard(self, shard: int) -> int:
+        """Lose one shard's records (a backing-partition failure).
+
+        The shard object itself survives — post-crash traffic hashing
+        to it repopulates an empty table — so queries keep working,
+        just without the lost evidence.  Returns how many records died.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.n_shards}), got {shard}"
+            )
+        lost = self.shards[shard].drop_all()
+        self._count -= lost
+        return lost
+
     def _notify_read(self) -> None:
         if self.before_read is not None:
             self.before_read()

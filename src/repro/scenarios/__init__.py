@@ -48,6 +48,7 @@ from .incast import IncastResult, IncastScenario
 from .gray_failure import GrayFailureResult, GrayFailureScenario
 from .polarization import PolarizationResult, PolarizationScenario
 from .link_flap import LinkFlapResult, LinkFlapScenario
+from .multi_fault import MultiFaultScenario
 from .catalog import catalog_markdown
 
 __all__ = [
@@ -71,4 +72,5 @@ __all__ = [
     "GrayFailureScenario", "GrayFailureResult",
     "PolarizationScenario", "PolarizationResult",
     "LinkFlapScenario", "LinkFlapResult",
+    "MultiFaultScenario",
 ]

@@ -35,6 +35,7 @@ from typing import Any, ClassVar, Iterator, Optional
 
 from ..analyzer.apps import Verdict
 from ..deployment import SwitchPointerDeployment
+from ..faults import FAULTS, Fault, FaultContext, FaultPlan
 from ..simnet.topology import Network
 
 
@@ -74,6 +75,10 @@ class ScenarioSpec:
         Alternate registry keys (the historical ``fig*`` ids).
     smoke_knobs:
         Knob overrides for a fast round-trip (tests, CI smoke).
+    faults:
+        Names of the registered faults (``repro.faults``) this scenario
+        injects — declared, not open-coded, so the docs catalogue and
+        the fault layer stay in sync.  Validated at registration.
     """
 
     name: str
@@ -83,6 +88,7 @@ class ScenarioSpec:
     knobs: dict[str, Knob] = field(default_factory=dict)
     aliases: tuple[str, ...] = ()
     smoke_knobs: dict[str, Any] = field(default_factory=dict)
+    faults: tuple[str, ...] = ()
 
     @property
     def cli_example(self) -> str:
@@ -176,6 +182,18 @@ class Scenario(abc.ABC):
             for name, knob in self.spec.knobs.items()}
         self.network: Optional[Network] = None
         self.deployment: Optional[SwitchPointerDeployment] = None
+        #: the fault composition this run injects; build() populates it
+        #: (via add_fault) and execute() schedules it after build
+        self.faults = FaultPlan()
+
+    def add_fault(self, name: str, **params: Any) -> Fault:
+        """Instantiate a registered fault and add it to this run's plan.
+
+        The scenario declares *which* faults it uses in
+        ``spec.faults``; build() calls this to bind them to the
+        concrete topology (switch names, victim flows, times).
+        """
+        return self.faults.add_named(name, **params)
 
     # -- the four phases -----------------------------------------------------
 
@@ -212,8 +230,20 @@ class Scenario(abc.ABC):
             raise ScenarioError(
                 f"{type(self).__name__}.build() must set "
                 f"self.network and self.deployment")
+        fault_ctx = FaultContext(self.network, self.deployment)
+        if self.faults:
+            self.faults.schedule(fault_ctx)
         timed("run", self.run)
+        if self.faults:
+            # stop fault-internal event processes (flappers etc.)
+            # without healing — diagnosis sees the faults as-is
+            self.faults.finalize(fault_ctx)
         measurements = timed("collect", self.collect) or {}
+        if self.faults:
+            # the composed plan's lifecycle, for reports and sweeps: a
+            # fault that never fired (start beyond the run window)
+            # shows up as pending instead of silently vanishing
+            measurements.setdefault("fault_plan", self.faults.status())
         verdicts: list[Verdict] = []
         if with_diagnosis:
             verdicts = timed("diagnose", self.diagnose) or []
@@ -250,6 +280,11 @@ class ScenarioRegistry:
         if not isinstance(spec, ScenarioSpec):
             raise ScenarioError(
                 f"{cls.__name__} must define a ScenarioSpec 'spec'")
+        unknown_faults = [f for f in spec.faults if f not in FAULTS]
+        if unknown_faults:
+            raise ScenarioError(
+                f"{cls.__name__} declares unregistered fault(s) "
+                f"{unknown_faults}; known: {', '.join(FAULTS.names())}")
         for key in (spec.name, *spec.aliases):
             if key in self._classes or key in self._aliases:
                 raise ScenarioError(

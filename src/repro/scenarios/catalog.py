@@ -38,6 +38,10 @@ def _spec_markdown(spec: ScenarioSpec) -> str:
     lines = [f"## `{spec.name}`", "", spec.summary, ""]
     lines.append(f"- **Reproduces / models:** {spec.paper_ref}")
     lines.append(f"- **Expected diagnosis:** {spec.expected_diagnosis}")
+    if spec.faults:
+        fault_str = ", ".join(f"`{f}`" for f in spec.faults)
+        lines.append(f"- **Injects (fault registry, see "
+                     f"[FAULTS.md](FAULTS.md)):** {fault_str}")
     if spec.aliases:
         alias_str = ", ".join(f"`{a}`" for a in spec.aliases)
         lines.append(f"- **Aliases:** {alias_str}")

@@ -6,11 +6,14 @@ from __future__ import annotations
 import random
 from typing import Iterable, Optional
 
+from ..faults import parse_spare
+from ..simnet.device import _flow_hash
+from ..simnet.packet import PROTO_UDP, FlowKey
 from ..simnet.queues import DropTailFIFO, StrictPriorityQueue
 from ..simnet.topology import Network
 from ..simnet.workload import (BackgroundTraffic, WorkloadGenerator,
                                WorkloadSpec)
-from .base import Knob
+from .base import Knob, Scenario
 
 #: Pica8-class deep shared buffer (the paper's testbed switch family has
 #: multi-MB packet memory; a shallow buffer would clip the starvation
@@ -54,6 +57,27 @@ def build_diamond(n_pairs: int, *, trunk_bps: float,
     return net
 
 
+def sport_for_side(src: str, dst: str, side: int, *, start: int,
+                   n_sides: int = 2, proto: int = PROTO_UDP,
+                   dport: Optional[int] = None) -> int:
+    """First source port ≥ ``start`` whose healthy 5-tuple hash picks
+    ECMP candidate ``side``.
+
+    The scenarios that need a provable baseline split (link-flap,
+    polarization, multi-fault) all pin flows to spines by scanning
+    source ports against the healthy hash; this is the one copy of
+    that invariant.  ``dport`` defaults to mirroring the source port
+    (the UDP convention here); TCP callers pass their fixed one.
+    """
+    sport = start
+    while True:
+        key = FlowKey(src, dst, sport,
+                      sport if dport is None else dport, proto)
+        if _flow_hash(key) % n_sides == side:
+            return sport
+        sport += 1
+
+
 def background_knobs() -> dict[str, Knob]:
     """The background-population knobs traffic-scale scenarios share.
 
@@ -71,8 +95,57 @@ def background_knobs() -> dict[str, Knob]:
     }
 
 
+def fault_knobs() -> dict[str, Knob]:
+    """The ambient-fault knobs fault-capable scenarios share.
+
+    Each knob arms one registered fault (``repro.faults``) on top of
+    the scenario's own declared fault — the sweep ``skew_ms=`` and
+    ``deploy=`` axes bind here, so nightly runs measure diagnosis
+    accuracy under clock skew and partial deployment.
+    """
+    return {
+        "skew_ms": Knob(0.0, "clock-skew fault: max per-device epoch "
+                             "clock offset (ms; 0 = synchronized)"),
+        "deploy_frac": Knob(1.0, "partial-deployment fault: fraction "
+                                 "of switches instrumented (<1.0 "
+                                 "strips the rest)"),
+        "deploy_spare": Knob("", "switches never stripped by partial "
+                                 "deployment (comma-separated; the "
+                                 "path-pinning embedder is always "
+                                 "spared)"),
+        "crash_host": Knob("", "agent-crash fault: host whose agent "
+                               "dies mid-run ('' = none)"),
+        "crash_at": Knob(0.0, "when the agent crash fires (s)"),
+    }
+
+
+def install_fault_knobs(scenario: Scenario, *,
+                        extra_spare: Iterable[str] = ()) -> None:
+    """Arm the :func:`fault_knobs` faults a scenario's knobs request.
+
+    Call at the end of ``build()`` (topology and deployment exist, the
+    plan is not yet scheduled).  ``extra_spare`` lists switches the
+    scenario cannot function without — typically the CherryPick
+    embedding hop, without which no host records exist at all — merged
+    into the user's ``deploy_spare``.
+    """
+    p = scenario.p
+    if p.get("skew_ms", 0.0) > 0:
+        scenario.add_fault("clock-skew", skew_ms=p["skew_ms"],
+                           targets="all")
+    if p.get("deploy_frac", 1.0) < 1.0:
+        spare = list(parse_spare(p.get("deploy_spare", "")))
+        spare.extend(s for s in extra_spare if s not in spare)
+        scenario.add_fault("partial-deployment", frac=p["deploy_frac"],
+                           spare=",".join(spare))
+    if p.get("crash_host"):
+        scenario.add_fault("agent-crash", host=p["crash_host"],
+                           start=p.get("crash_at", 0.0))
+
+
 def launch_background(network: Network, p: dict, *, duration: float,
-                      exclude: Iterable[str] = ()
+                      exclude: Iterable[str] = (),
+                      eligible: Optional[Iterable[str]] = None
                       ) -> Optional[BackgroundTraffic]:
     """Start the ``bg_*``-knob flow population (None when 0 flows).
 
@@ -80,15 +153,19 @@ def launch_background(network: Network, p: dict, *, duration: float,
     :class:`~repro.simnet.workload.BackgroundTraffic` emitter, start
     uniformly over the first half of ``duration``, and avoid the
     ``exclude`` hosts (e.g. incast's victim receiver, so background
-    noise cannot fake fan-in culprits).  The workload seed derives from
-    the process RNG — a sweep point's recorded seed reproduces the
-    exact population.
+    noise cannot fake fan-in culprits).  ``eligible`` restricts the
+    pool further (e.g. link-flap keeps the population off the flapping
+    trunk entirely — see the scenario's knob help).  The workload seed
+    derives from the process RNG — a sweep point's recorded seed
+    reproduces the exact population.
     """
     n = p["bg_flows"]
     if n <= 0:
         return None
     banned = set(exclude)
-    hosts = [h for h in network.host_names if h not in banned]
+    pool = (network.host_names if eligible is None
+            else [h for h in eligible])
+    hosts = [h for h in pool if h not in banned]
     if len(hosts) < 2:
         raise ValueError("background workload needs >= 2 eligible hosts")
     mean = max(1, p["bg_flow_kb"]) * 1024

@@ -11,6 +11,7 @@ do, and the boundary of that spatial cut is the suspect.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..analyzer.apps import Verdict, diagnose_gray_failure
@@ -21,7 +22,8 @@ from ..simnet.topology import Network, build_linear
 from ..simnet.traffic import UdpCbrSource, UdpSink
 from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
-from .common import background_knobs, launch_background
+from .common import (background_knobs, fault_knobs, install_fault_knobs,
+                     launch_background)
 
 
 @dataclass
@@ -73,9 +75,11 @@ class GrayFailureScenario(Scenario):
             "ingest_batch": Knob(1, "sniffed packets decoded per "
                                     "ingest batch"),
             **background_knobs(),
+            **fault_knobs(),
         },
         aliases=("silent-drop",),
         smoke_knobs={"n_flows": 2, "duration": 0.040},
+        faults=("silent-drop",),
     )
 
     def build(self) -> None:
@@ -106,13 +110,15 @@ class GrayFailureScenario(Scenario):
                                duration=p["duration"] - 0.002)
             (self.affected if i % 2 == 0 else self.healthy).append(src.flow)
 
-        dropped = frozenset(self.affected)
-        sw = net.switches[p["fault_switch"]]
-
-        def inject():
-            sw.drop_filter = lambda pkt: pkt.flow in dropped
-
-        net.sim.schedule_at(p["fault_time"], inject)
+        # the fault, declared through the registry: silently drop the
+        # even-indexed flow slice at the fault switch from fault_time on
+        self.drop_fault = self.add_fault(
+            "silent-drop", switch=p["fault_switch"],
+            flows=tuple(self.affected), start=p["fault_time"])
+        # ambient stressor knobs (clock skew, partial deployment, agent
+        # crash).  S1 is the chain's CherryPick embedder: stripping it
+        # would erase every host record, so it is always spared.
+        install_fault_knobs(self, extra_spare=("S1",))
 
         # the background flow population (the sweep flows= axis): load
         # on every record table while the blackhole is localized.  The
@@ -131,10 +137,15 @@ class GrayFailureScenario(Scenario):
         p = self.p
         net, deploy = self.network, self.deployment
         clock = deploy.datapaths["S1"].clock
-        alpha_s = p["alpha_ms"] / 1e3
         fault_epoch = clock.epoch_of(p["fault_time"])
-        if p["fault_time"] > fault_epoch * alpha_s:
+        if p["fault_time"] > clock.epoch_start(fault_epoch):
             fault_epoch += 1       # fault mid-epoch: that epoch is mixed
+        if p["skew_ms"] > 0:
+            # per-device offsets span ±skew_ms, so a switch may run up
+            # to 2·skew_ms ahead of S1 and mark that much more
+            # pre-fault epoch residue; widen the window's lower edge
+            # so the residue is never misread as forwarding-in-silence
+            fault_epoch += math.ceil(2 * p["skew_ms"] / p["alpha_ms"])
         self.silence_epochs = EpochRange(fault_epoch,
                                          clock.epoch_of(net.sim.now))
         self.payload = GrayFailureResult(
@@ -149,6 +160,7 @@ class GrayFailureScenario(Scenario):
             "silence_epochs": (self.silence_epochs.lo,
                                self.silence_epochs.hi),
             "affected_flows": len(self.affected),
+            "uninstrumented_switches": deploy.uninstrumented_switches,
             "flow_count": p["n_flows"] +
                           (bg.n_flows if bg is not None else 0),
             "bg_packets_delivered": (bg.delivered
@@ -179,8 +191,50 @@ register_sweep(SweepSpec(
         "shards": "record_shards",
         "batch": "ingest_batch",
         "mix": "bg_mix",
+        "skew_ms": "skew_ms",
     },
     default_grid={"flows": (0, 200, 1000), "victims": (4, 16)},
     nightly_grid={"flows": (0, 200), "victims": (4,)},
     base_knobs={"record_shards": 4, "ingest_batch": 8},
+))
+
+register_sweep(SweepSpec(
+    scenario="gray-failure",
+    name="clock-skew",
+    summary="blackhole localization accuracy as per-device clock skew "
+            "grows toward and past the ε bound",
+    expect_problem="gray-failure",
+    expect_suspect_knob="fault_switch",
+    axes={
+        "skew_ms": "skew_ms",
+        "victims": "n_flows",
+        "alpha_ms": "alpha_ms",
+    },
+    # α = 10 ms here and offsets span ±skew_ms, so pairwise skew
+    # reaches 2·skew_ms: the whole default grid stays within the
+    # ε = α bound and must diagnose correctly; pushing the axis past
+    # 5.0 charts the degradation curve beyond the bound
+    default_grid={"skew_ms": (0.0, 2.0, 5.0)},
+    nightly_grid={"skew_ms": (0.0, 2.0)},
+))
+
+register_sweep(SweepSpec(
+    scenario="gray-failure",
+    name="partial-deployment",
+    summary="blackhole localization with only a fraction of switches "
+            "instrumented (host-only evidence elsewhere)",
+    expect_problem="gray-failure",
+    expect_suspect_knob="fault_switch",
+    axes={
+        "deploy": "deploy_frac",
+        "victims": "n_flows",
+        "flows": "bg_flows",
+    },
+    default_grid={"deploy": (1.0, 0.75, 0.5)},
+    nightly_grid={"deploy": (1.0, 0.75)},
+    # the fault switch stays instrumented so the nightly points are
+    # deterministic: the cut boundary may coarsen across stripped
+    # neighbors but still names S3 (the embedder S1 is always spared
+    # by the scenario itself)
+    base_knobs={"deploy_spare": "S3"},
 ))

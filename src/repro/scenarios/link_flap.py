@@ -21,13 +21,18 @@ from dataclasses import dataclass, field
 from ..analyzer.apps import Verdict, diagnose_link_flap
 from ..core.epoch import EpochRange
 from ..deployment import SwitchPointerDeployment
-from ..simnet.device import _flow_hash
-from ..simnet.packet import PRIO_LOW, PROTO_TCP, PROTO_UDP, FlowKey
-from ..simnet.topology import LinkFlapper, Network
+from ..simnet.packet import PRIO_LOW, PROTO_TCP, FlowKey
+from ..simnet.topology import Network
 from ..simnet.traffic import TcpTimedFlow, UdpCbrSource, UdpSink
 from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
-from .common import GBPS, build_diamond
+from .common import (GBPS, background_knobs, build_diamond, fault_knobs,
+                     install_fault_knobs, launch_background,
+                     sport_for_side)
+
+#: extra tx/rx pairs added to the diamond when a background population
+#: is requested (its endpoints; see the bg_flows knob help)
+_BG_PAIRS = 8
 
 
 @dataclass
@@ -77,14 +82,18 @@ class LinkFlapScenario(Scenario):
                                    "observe retransmit cascades"),
             "alpha_ms": Knob(10, "epoch duration α (ms)"),
             "k": Knob(3, "pointer hierarchy depth"),
+            **background_knobs(),
+            **fault_knobs(),
         },
         smoke_knobs={"n_flows": 4, "duration": 0.045},
+        faults=("link-flap",),
     )
 
     def build(self) -> None:
         p = self.p
         n = p["n_flows"]
-        net = build_diamond(n + 1, trunk_bps=10 * GBPS,
+        bg_pairs = _BG_PAIRS if p["bg_flows"] > 0 else 0
+        net = build_diamond(n + 1 + bg_pairs, trunk_bps=10 * GBPS,
                             host_bps=GBPS)   # pair n: the TCP flow
         deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
                                          k=p["k"])
@@ -97,7 +106,7 @@ class LinkFlapScenario(Scenario):
         rate = p["rate_mbps"] * 1e6
         for i in range(n):
             side = i % 2                 # alternate SPA(0) / SPB(1)
-            sport = self._pin_sport(f"tx{i}", f"rx{i}", PROTO_UDP, side)
+            sport = sport_for_side(f"tx{i}", f"rx{i}", side, start=7000)
             UdpSink(net.hosts[f"rx{i}"], sport)
             src = UdpCbrSource(net.sim, net.hosts[f"tx{i}"], f"rx{i}",
                                sport=sport, dport=sport, rate_bps=rate,
@@ -111,32 +120,39 @@ class LinkFlapScenario(Scenario):
         if p["with_tcp"]:
             # pin the TCP flow to the flapping spine: its losses during
             # each blackhole window drive the retransmit cascade
-            sport = self._pin_sport(f"tx{n}", f"rx{n}", PROTO_TCP, 0)
+            sport = sport_for_side(f"tx{n}", f"rx{n}", 0, start=7000,
+                                   proto=PROTO_TCP, dport=200)
             self.tcp_app = TcpTimedFlow(
                 net.sim, net.hosts[f"tx{n}"], net.hosts[f"rx{n}"],
                 duration=p["duration"] - 0.010, sport=sport, dport=200,
                 priority=PRIO_LOW)
             self.flapping_side.append(self.tcp_app.sender.flow)
 
-        self.flapper = LinkFlapper(
-            net, "S1", "SPA", down_for=p["down_for"], up_for=p["up_for"],
-            start_delay=p["first_down"],
+        # the fault, declared through the registry: periodic down/up
+        # churn on the S1—SPA trunk from first_down onward
+        self.flap_fault = self.add_fault(
+            "link-flap", a="S1", b="SPA", down_for=p["down_for"],
+            up_for=p["up_for"], start=p["first_down"],
             reconverge_delay=p["reconverge_delay"])
+        # ambient stressor knobs; S1 is the diamond's CherryPick
+        # embedder (its trunk egress pins every crossing path), so
+        # partial deployment always spares it
+        install_fault_knobs(self, extra_spare=("S1",))
 
-    def _pin_sport(self, src: str, dst: str, proto: int,
-                   side: int, dport: int = 200) -> int:
-        """Find a source port whose 5-tuple hashes to ``side``."""
-        sport = 7000
-        while True:
-            key = FlowKey(src, dst, sport, sport if proto == PROTO_UDP
-                          else dport, proto)
-            if _flow_hash(key) % 2 == side:
-                return sport
-            sport += 1
+        # the background flow population (the sweep flows= axis): its
+        # endpoints are dedicated tx-side pairs, so every background
+        # flow hairpins at S1 and never crosses the flapping trunk —
+        # short-lived flows that outlive no flap would otherwise count
+        # as *stable* users of the flapped egress and mask the churn
+        # signal the diagnosis keys on.  The record tables and the
+        # consult fan-out still carry the full population.
+        self.background = launch_background(
+            net, p, duration=p["duration"],
+            eligible=[f"tx{i}" for i in range(n + 1, n + 1 + bg_pairs)])
 
     def run(self) -> None:
+        # the plan's finalize() stops the flapper once this returns
         self.network.run(until=self.p["duration"])
-        self.flapper.stop()
 
     def collect(self) -> dict:
         net = self.network
@@ -145,16 +161,20 @@ class LinkFlapScenario(Scenario):
                     if self.tcp_app is not None else 0)
         self.payload = LinkFlapResult(
             deployment=self.deployment, network=net,
-            flapped_link=("S1", "SPA"), flaps=self.flapper.flaps,
+            flapped_link=("S1", "SPA"), flaps=self.flap_fault.flaps,
             down_drops=link.down_drops, tcp_timeouts=timeouts,
             flapping_side_flows=list(self.flapping_side),
             stable_side_flows=list(self.stable_side))
+        bg = self.background
         return {
             "flaps": self.payload.flaps,
             "down_drops": self.payload.down_drops,
             "tcp_timeouts": timeouts,
             "flow_count": (len(self.flapping_side)
-                           + len(self.stable_side)),
+                           + len(self.stable_side)
+                           + (bg.n_flows if bg is not None else 0)),
+            "bg_packets_delivered": (bg.delivered
+                                     if bg is not None else 0),
         }
 
     def diagnose(self) -> list[Verdict]:
@@ -166,14 +186,17 @@ class LinkFlapScenario(Scenario):
 
 register_sweep(SweepSpec(
     scenario="link-flap",
-    summary="flapping-trunk localization as the crossing flow "
-            "population scales",
+    summary="flapping-trunk localization as the crossing and background "
+            "flow populations scale",
     expect_problem="link-flap",
     axes={
-        "flows": "n_flows",
+        "victims": "n_flows",
+        "flows": "bg_flows",
+        "mix": "bg_mix",
+        "flow_kb": "bg_flow_kb",
         "alpha_ms": "alpha_ms",
         "down_for": "down_for",
     },
-    default_grid={"flows": (8, 16, 32)},
-    nightly_grid={"flows": (8, 16)},
+    default_grid={"victims": (8, 16, 32), "flows": (0, 200)},
+    nightly_grid={"victims": (8, 16), "flows": (0, 200)},
 ))

@@ -20,12 +20,13 @@ from ..analyzer.apps import Verdict, diagnose_polarization
 from ..analyzer.netdebug import check_path_conformance
 from ..core.epoch import EpochRange
 from ..deployment import SwitchPointerDeployment
-from ..simnet.device import _flow_hash
 from ..simnet.packet import PRIO_LOW, PROTO_UDP, FlowKey
 from ..simnet.topology import Network, build_leaf_spine
 from ..simnet.traffic import UdpCbrSource, UdpSink
 from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
+from .common import (background_knobs, fault_knobs, install_fault_knobs,
+                     launch_background, sport_for_side)
 
 
 @dataclass
@@ -41,11 +42,6 @@ class PolarizationResult:
     expected_spine: dict[FlowKey, str] = field(default_factory=dict)
     spine_tx_bytes: dict[str, int] = field(default_factory=dict)
     off_policy_flows: int = 0
-
-
-def _port_blind(flow: FlowKey) -> int:
-    """The buggy hash: blind to sport/dport (polarizes per host pair)."""
-    return _flow_hash(FlowKey(flow.src, flow.dst, 0, 0, flow.proto))
 
 
 @register
@@ -76,15 +72,26 @@ class PolarizationScenario(Scenario):
                                         "polarized"),
             "alpha_ms": Knob(10, "epoch duration α (ms)"),
             "k": Knob(3, "pointer hierarchy depth"),
+            **background_knobs(),
+            **fault_knobs(),
         },
         aliases=("ecmp-polarization",),
         smoke_knobs={"n_flows": 4, "duration": 0.020},
+        faults=("ecmp-polarization",),
     )
 
     def build(self) -> None:
         p = self.p
         n = p["n_flows"]
-        net = build_leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=1)
+        # the background population needs endpoints of its own: grow the
+        # fabric (extra leaves + hosts) only when it is requested, so
+        # the historical minimal two-leaf shape stays bit-identical
+        if p["bg_flows"] > 0:
+            net = build_leaf_spine(n_leaves=4, n_spines=2,
+                                   hosts_per_leaf=4)
+        else:
+            net = build_leaf_spine(n_leaves=2, n_spines=2,
+                                   hosts_per_leaf=1)
         deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
                                          k=p["k"])
         self.network, self.deployment = net, deploy
@@ -100,25 +107,40 @@ class PolarizationScenario(Scenario):
         # skew is entirely the bad hash's doing.
         self.flows: list[FlowKey] = []
         self.expected_spine: dict[FlowKey, str] = {}
-        want = 0
         sport = 9000
         rate = p["rate_mbps"] * 1e6
-        while len(self.flows) < n:
+        for i in range(n):
+            want = i % 2
+            sport = sport_for_side(src, dst, want, start=sport)
             flow = FlowKey(src, dst, sport, sport, PROTO_UDP)
-            healthy = _flow_hash(flow) % 2
-            if healthy == want:
-                UdpSink(self.network.hosts[dst], sport)
-                UdpCbrSource(net.sim, net.hosts[src], dst, sport=sport,
-                             dport=sport, rate_bps=rate,
-                             packet_size=1500, priority=PRIO_LOW,
-                             start=0.0, duration=p["duration"])
-                self.flows.append(flow)
-                self.expected_spine[flow] = spines[healthy]
-                want = 1 - want
+            UdpSink(self.network.hosts[dst], sport)
+            UdpCbrSource(net.sim, net.hosts[src], dst, sport=sport,
+                         dport=sport, rate_bps=rate,
+                         packet_size=1500, priority=PRIO_LOW,
+                         start=0.0, duration=p["duration"])
+            self.flows.append(flow)
+            self.expected_spine[flow] = spines[want]
             sport += 1
 
         if p["polarized"]:
-            net.switches["leaf0"].ecmp_hash = _port_blind
+            # the fault, declared through the registry: leaf0's hash
+            # goes port-blind at t=0 (before the first packet)
+            self.add_fault("ecmp-polarization",
+                           switch=self.branch_switch)
+        # ambient stressor knobs; leaf0 is both the branch under test
+        # and the CherryPick embedder for the victim pair, so partial
+        # deployment always spares it
+        install_fault_knobs(self, extra_spare=(self.branch_switch,))
+
+        # the background flow population (the sweep flows= axis): kept
+        # entirely off the polarized branch — its endpoints exclude
+        # every leaf0-attached host, so the per-egress census at leaf0
+        # counts only the parallel connections under test and the
+        # diagnosis threshold is never diluted by bystander traffic
+        self.background = launch_background(
+            net, p, duration=p["duration"],
+            exclude=[h for h in net.host_names
+                     if self.branch_switch in net.graph()[h]])
 
     def run(self) -> None:
         self.network.run(until=self.p["duration"] + 0.010)
@@ -142,10 +164,14 @@ class PolarizationScenario(Scenario):
             expected_spine=dict(self.expected_spine),
             spine_tx_bytes=spine_bytes,
             off_policy_flows=len(conformance.violations))
+        bg = self.background
         return {
             "spine_tx_bytes": spine_bytes,
             "off_policy_flows": self.payload.off_policy_flows,
-            "flow_count": len(self.flows),
+            "flow_count": len(self.flows) +
+                          (bg.n_flows if bg is not None else 0),
+            "bg_packets_delivered": (bg.delivered
+                                     if bg is not None else 0),
         }
 
     def diagnose(self) -> list[Verdict]:
@@ -160,14 +186,17 @@ class PolarizationScenario(Scenario):
 
 register_sweep(SweepSpec(
     scenario="polarization",
-    summary="port-blind hash skew flagged as the parallel-connection "
-            "count scales",
+    summary="port-blind hash skew flagged as connection count and the "
+            "background flow population scale",
     expect_problem="ecmp-polarization",
     axes={
-        "flows": "n_flows",
+        "conns": "n_flows",
+        "flows": "bg_flows",
+        "mix": "bg_mix",
+        "flow_kb": "bg_flow_kb",
         "alpha_ms": "alpha_ms",
         "rate_mbps": "rate_mbps",
     },
-    default_grid={"flows": (8, 32, 128)},
-    nightly_grid={"flows": (8, 32)},
+    default_grid={"conns": (8, 32, 128), "flows": (0, 200)},
+    nightly_grid={"conns": (8, 32), "flows": (0, 200)},
 ))

@@ -127,6 +127,16 @@ def _spec_markdown(spec: SweepSpec) -> str:
         default = _grid_cell(spec.default_grid.get(axis))
         nightly = _grid_cell(spec.nightly_grid.get(axis))
         lines.append(f"| `{axis}` | `{knob}` | `{default}` | `{nightly}` |")
+    if spec.nightly_points:
+        points = "; ".join(
+            "`" + " ".join(f"{a}={v}" for a, v in point.items()) + "`"
+            for point in spec.nightly_points
+        )
+        lines.append("")
+        lines.append(f"Extra nightly point(s) beyond the cartesian grid: {points}.")
+    if spec.budget_note:
+        lines.append("")
+        lines.append(f"**Wall-time budget:** {spec.budget_note}")
     return "\n".join(lines) + "\n"
 
 

@@ -65,6 +65,15 @@ class SweepSpec:
         expands every registered spec at this grid) and the smoke
         benchmark.  Mandatory at registration: a sweep the nightly
         driver cannot run would silently shrink CI's coverage.
+    nightly_points:
+        Explicit extra points appended to the nightly grid's cartesian
+        expansion — for combined top-end points (``hosts=4096
+        flows=2000``) whose full cross product would blow the nightly
+        wall-time budget.  Each entry maps axis names to one value.
+    budget_note:
+        Free-form wall-time note rendered in ``docs/SWEEPS.md`` —
+        record the measured cost of the expensive points so grid
+        growth stays a deliberate, budgeted decision.
     base_knobs:
         Fixed knob overrides applied to every point (e.g. a shortened
         run duration so thousand-host points stay tractable).
@@ -76,6 +85,8 @@ class SweepSpec:
     axes: dict[str, str]
     default_grid: dict[str, tuple[Any, ...]]
     nightly_grid: dict[str, tuple[Any, ...]] = field(default_factory=dict)
+    nightly_points: tuple[dict[str, Any], ...] = ()
+    budget_note: Optional[str] = None
     base_knobs: dict[str, Any] = field(default_factory=dict)
     expect_suspect_knob: Optional[str] = None
     name: Optional[str] = None
@@ -142,6 +153,13 @@ class SweepRegistry:
                         f"sweep {spec.name!r}: {grid_name} axis "
                         f"{axis!r} is not declared in axes"
                     )
+        for i, point in enumerate(spec.nightly_points):
+            bad = [axis for axis in point if axis not in spec.axes]
+            if bad:
+                raise SweepError(
+                    f"sweep {spec.name!r}: nightly_points[{i}] axis "
+                    f"{bad[0]!r} is not declared in axes"
+                )
         self._specs[spec.name] = spec
         return spec
 

@@ -99,6 +99,7 @@ class Sweep:
         workers: Optional[int] = None,
         base_seed: int = DEFAULT_BASE_SEED,
         extra_knobs: Optional[dict[str, Any]] = None,
+        extra_points: Optional[list[dict[str, Any]]] = None,
     ):
         self.spec = spec
         self.grid = (
@@ -108,14 +109,22 @@ class Sweep:
         )
         self.base_seed = base_seed
         self.extra_knobs = dict(extra_knobs or {})
-        swept = {spec.axes[axis] for axis in self.grid if axis in spec.axes}
+        swept_axes = set(self.grid) | {
+            axis for point in (extra_points or []) for axis in point
+        }
+        swept = {spec.axes[axis] for axis in swept_axes if axis in spec.axes}
         clash = swept & set(self.extra_knobs)
         if clash:
             raise GridError(
                 f"--knob would silently override swept axis knob(s) "
                 f"{sorted(clash)}; drop the knob or the axis"
             )
-        self.params = expand_grid(self.grid)
+        # explicit points ride along after the cartesian expansion —
+        # combined top-end points (hosts=4096 flows=2000) join a run
+        # without dragging the whole cross product with them
+        self.params = expand_grid(self.grid) + [
+            dict(point) for point in (extra_points or [])
+        ]
         self.workers = default_workers(len(self.params)) if workers is None else workers
         if self.workers < 1:
             raise ValueError("workers must be >= 1")

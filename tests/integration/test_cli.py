@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.faults import FAULTS
 from repro.scenarios import REGISTRY
 
 
@@ -31,6 +32,34 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
+
+
+class TestFaultsCommand:
+    def test_faults_list_shows_at_least_six_faults(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert len(FAULTS) >= 6
+        for spec in FAULTS.specs():
+            assert spec.name in out
+        assert f"{len(FAULTS)} fault(s) registered" in out
+
+    def test_faults_list_matches_registry_summaries(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for spec in FAULTS.specs():
+            assert spec.summary.split("(")[0].strip()[:40] in out
+
+    def test_faults_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
+    def test_run_multi_fault_scenario(self, capsys):
+        assert main(["run", "multi-fault",
+                     "--knob", "faults=silent-drop+link-flap",
+                     "--knob", "slot_flows=4"]) == 0
+        out = capsys.readouterr().out
+        assert "diagnosis (multi-fault)" in out
+        assert "attributed independently" in out
 
 
 class TestRunCommand:

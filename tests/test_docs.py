@@ -5,6 +5,7 @@ import subprocess
 import sys
 from pathlib import Path
 
+from repro.faults import FAULTS, faults_markdown
 from repro.scenarios import REGISTRY, catalog_markdown
 from repro.sweep import SWEEPS, sweeps_markdown
 
@@ -25,6 +26,52 @@ class TestScenarioCatalog:
             assert spec.summary in page
             for knob in spec.knobs:
                 assert f"`{knob}`" in page
+
+
+class TestFaultCatalog:
+    def test_faults_md_matches_registry(self):
+        """docs/FAULTS.md must be regenerated when the fault registry
+        changes (python tools/gen_fault_docs.py)."""
+        page = (REPO / "docs" / "FAULTS.md").read_text(encoding="utf-8")
+        assert page == faults_markdown()
+
+    def test_every_fault_documented(self):
+        page = (REPO / "docs" / "FAULTS.md").read_text(encoding="utf-8")
+        for spec in FAULTS.specs():
+            assert f"## `{spec.name}`" in page
+            assert spec.summary in page
+            for param in spec.params:
+                assert f"`{param}`" in page
+
+    def test_page_documents_protocol_and_shared_params(self):
+        page = (REPO / "docs" / "FAULTS.md").read_text(encoding="utf-8")
+        assert "schedule → inject → heal → describe" in page
+        assert "`start`" in page and "`stop`" in page
+        assert "faults list" in page
+        assert "FaultPlan" in page
+
+    def test_generator_check_mode_passes(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "gen_fault_docs.py"),
+             "--check"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_readme_links_faults_doc(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/FAULTS.md" in readme
+
+    def test_architecture_covers_the_fault_layer(self):
+        arch = (REPO / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8")
+        for anchor in ("repro/faults", "FaultPlan", "FAULTS.md",
+                       "pending → active → healed"):
+            assert anchor in arch
+
+    def test_scenarios_page_names_declared_faults(self):
+        page = (REPO / "docs" / "SCENARIOS.md").read_text(
+            encoding="utf-8")
+        assert "Injects (fault registry" in page
 
 
 class TestSweepCatalog:
@@ -54,6 +101,9 @@ class TestSweepCatalog:
         assert "`flow_count`" in page
         assert "`ingest_records_per_s`" in page
         assert "WORKLOADS.md" in page
+        # the combined top-end point and its wall-time budget note
+        assert "`hosts=4096 flows=2000`" in page
+        assert "**Wall-time budget:**" in page
 
     def test_generator_check_mode_passes(self):
         proc = subprocess.run(
