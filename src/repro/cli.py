@@ -30,13 +30,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 from pathlib import Path
 
 from .analyzer.apps import (diagnose_contention, diagnose_load_imbalance,
                             diagnose_red_lights, diagnose_cascade)
 from .core.epoch import EpochRange
+from .core.rng import seed_run
 from .core.sizing import (push_bandwidth_bps, recycling_period_ms,
                           total_switch_memory_bytes)
 from .faults import FAULTS
@@ -106,7 +106,7 @@ def cmd_run(args) -> int:
             # replay path for sweep points: seed exactly as the sweep
             # worker does, so `run --seed <point seed> --knob ...`
             # reproduces that point bit-for-bit
-            random.seed(args.seed)
+            seed_run(args.seed)
         result = run_scenario(args.scenario,
                               **_parse_knobs(args.knob))
     except (ScenarioError, ValueError, TypeError, KeyError,

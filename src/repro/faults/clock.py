@@ -14,6 +14,7 @@ beyond ε, diagnosis accuracy is allowed to degrade, and the sweep
 from __future__ import annotations
 
 import zlib
+from typing import Any, Iterator
 
 from .base import Fault, FaultContext, FaultError, FaultParam, FaultSpec, register_fault
 
@@ -48,7 +49,7 @@ class ClockSkewFault(Fault):
         },
     )
 
-    def __init__(self, **params):
+    def __init__(self, **params: Any):
         super().__init__(**params)
         if self.p["targets"] not in _TARGETS:
             raise FaultError(
@@ -63,7 +64,7 @@ class ClockSkewFault(Fault):
         #: deployment's membership between inject and heal
         self._applied: list = []
 
-    def _clocks(self, ctx: FaultContext):
+    def _clocks(self, ctx: FaultContext) -> Iterator[tuple[str, Any]]:
         deploy = ctx.require_deployment(self)
         which = self.p["targets"]
         if which in ("switches", "all"):

@@ -15,6 +15,8 @@ Two blast radii, selected by ``shard``:
 
 from __future__ import annotations
 
+from typing import Any
+
 from .base import Fault, FaultContext, FaultError, FaultParam, FaultSpec, register_fault
 
 
@@ -36,11 +38,11 @@ class AgentCrashFault(Fault):
         },
     )
 
-    def __init__(self, **params):
+    def __init__(self, **params: Any):
         super().__init__(**params)
         self.records_lost = 0
 
-    def _agent(self, ctx: FaultContext):
+    def _agent(self, ctx: FaultContext) -> Any:
         deploy = ctx.require_deployment(self)
         name = self.p["host"]
         try:

@@ -9,20 +9,21 @@ switches: pointer pulls fall back to consulting every host, and drop
 localization treats them as evidence gaps rather than silent hops (see
 ``Analyzer.hosts_for`` and ``localize_packet_drops``).
 
-Selection is seeded by the process RNG, so a sweep point's mask is
-reproducible from its recorded seed; ``spare`` pins switches that must
-stay instrumented (e.g. the CherryPick embedding hop, without which no
-host records exist at all).
+Selection draws from the seeded run stream (:mod:`repro.core.rng`), so
+a sweep point's mask is reproducible from its recorded seed; ``spare``
+pins switches that must stay instrumented (e.g. the CherryPick
+embedding hop, without which no host records exist at all).
 """
 
 from __future__ import annotations
 
-import random
+from typing import Any, Iterable
 
+from ..core.rng import run_stream
 from .base import Fault, FaultContext, FaultError, FaultParam, FaultSpec, register_fault
 
 
-def parse_spare(spare) -> tuple[str, ...]:
+def parse_spare(spare: str | Iterable[str]) -> tuple[str, ...]:
     """``spare`` may be a comma string (CLI knob) or an iterable."""
     if isinstance(spare, str):
         return tuple(s.strip() for s in spare.split(",") if s.strip())
@@ -54,7 +55,7 @@ class PartialDeploymentFault(Fault):
         },
     )
 
-    def __init__(self, **params):
+    def __init__(self, **params: Any):
         super().__init__(**params)
         frac = self.p["frac"]
         if not 0.0 <= frac <= 1.0:
@@ -75,7 +76,7 @@ class PartialDeploymentFault(Fault):
         n_remove = min(
             len(candidates), round((1.0 - self.p["frac"]) * len(all_switches))
         )
-        self.removed = tuple(sorted(random.sample(candidates, n_remove)))
+        self.removed = tuple(sorted(run_stream().sample(candidates, n_remove)))
         for name in self.removed:
             deploy.uninstrument_switch(name)
 

@@ -9,9 +9,10 @@ names the victims during the outage — exactly the spatial-cut signature
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
-from ..simnet.packet import FlowKey
+from ..simnet.device import Switch
+from ..simnet.packet import FlowKey, Packet
 from .base import Fault, FaultContext, FaultError, FaultParam, FaultSpec, register_fault
 
 
@@ -41,17 +42,17 @@ class SilentDropFault(Fault):
         },
     )
 
-    def __init__(self, **params):
+    def __init__(self, **params: Any):
         super().__init__(**params)
-        self._saved = None
-        self._installed = None
+        self._saved: Any = None
+        self._installed: Any = None
         #: consulted by the installed closure: heal flips it off, so an
         #: overlapping fault stacked *on top* of this one keeps its own
         #: filter working while this fault's slice stops dropping —
         #: heals compose in any order, not just LIFO
         self._active = False
 
-    def _switch(self, ctx: FaultContext):
+    def _switch(self, ctx: FaultContext) -> Switch:
         name = self.p["switch"]
         try:
             return ctx.network.switches[name]
@@ -74,7 +75,12 @@ class SilentDropFault(Fault):
         self._saved = previous
         self._active = True
 
-        def drop(pkt, _prev=previous, _victims=dropped, _fault=self):
+        def drop(
+            pkt: Packet,
+            _prev: Any = previous,
+            _victims: Any = dropped,
+            _fault: Any = self,
+        ) -> bool:
             if _fault._active and (not _victims or pkt.flow in _victims):
                 return True
             return bool(_prev is not None and _prev(pkt))

@@ -8,7 +8,9 @@ other egresses idle.
 
 from __future__ import annotations
 
-from ..simnet.device import _flow_hash
+from typing import Any
+
+from ..simnet.device import Switch, _flow_hash
 from ..simnet.packet import FlowKey
 from .base import Fault, FaultContext, FaultError, FaultParam, FaultSpec, register_fault
 
@@ -43,11 +45,11 @@ class EcmpPolarizationFault(Fault):
         },
     )
 
-    def __init__(self, **params):
+    def __init__(self, **params: Any):
         super().__init__(**params)
-        self._saved = None
+        self._saved: Any = None
 
-    def _switch(self, ctx: FaultContext):
+    def _switch(self, ctx: FaultContext) -> Switch:
         name = self.p["switch"]
         try:
             return ctx.network.switches[name]

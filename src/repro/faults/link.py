@@ -9,7 +9,7 @@ retransmit cascades the flap scenario studies.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..simnet.topology import LinkFlapper
 from .base import Fault, FaultContext, FaultError, FaultParam, FaultSpec, register_fault
@@ -95,7 +95,7 @@ class LinkFlapFault(Fault):
         },
     )
 
-    def __init__(self, **params):
+    def __init__(self, **params: Any):
         super().__init__(**params)
         self.flapper: Optional[LinkFlapper] = None
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Iterator, Optional
+from typing import Any, Callable, ClassVar, Iterator, Optional
 
 from ..analyzer.apps import Verdict
 from ..deployment import SwitchPointerDeployment
@@ -219,10 +219,12 @@ class Scenario(abc.ABC):
         """Walk the phases, timing each, and assemble the result."""
         timings: dict[str, float] = {}
 
-        def timed(phase: str, fn):
-            t0 = time.perf_counter()
+        def timed(phase: str, fn: Callable[[], Any]) -> Any:
+            # phase wall-clock cost is a *measurement* here, never an
+            # input to simulated behaviour
+            t0 = time.perf_counter()  # reprolint: allow[wall-clock]
             out = fn()
-            timings[phase] = time.perf_counter() - t0
+            timings[phase] = time.perf_counter() - t0  # reprolint: allow[wall-clock]
             return out
 
         timed("build", self.build)
@@ -285,6 +287,11 @@ class ScenarioRegistry:
             raise ScenarioError(
                 f"{cls.__name__} declares unregistered fault(s) "
                 f"{unknown_faults}; known: {', '.join(FAULTS.names())}")
+        bad_smoke = sorted(set(spec.smoke_knobs) - set(spec.knobs))
+        if bad_smoke:
+            raise ScenarioError(
+                f"{cls.__name__} smoke_knobs name undeclared knob(s) "
+                f"{bad_smoke}; declared: {sorted(spec.knobs)}")
         for key in (spec.name, *spec.aliases):
             if key in self._classes or key in self._aliases:
                 raise ScenarioError(

@@ -3,9 +3,9 @@ traffic-population plumbing shared by the scenario modules."""
 
 from __future__ import annotations
 
-import random
 from typing import Iterable, Optional
 
+from ..core.rng import run_stream
 from ..faults import parse_spare
 from ..simnet.device import _flow_hash
 from ..simnet.packet import PROTO_UDP, FlowKey
@@ -156,8 +156,8 @@ def launch_background(network: Network, p: dict, *, duration: float,
     noise cannot fake fan-in culprits).  ``eligible`` restricts the
     pool further (e.g. link-flap keeps the population off the flapping
     trunk entirely — see the scenario's knob help).  The workload seed
-    derives from the process RNG — a sweep point's recorded seed
-    reproduces the exact population.
+    derives from the seeded run stream (:mod:`repro.core.rng`) — a
+    sweep point's recorded seed reproduces the exact population.
     """
     n = p["bg_flows"]
     if n <= 0:
@@ -173,7 +173,7 @@ def launch_background(network: Network, p: dict, *, duration: float,
         n_flows=n, spread_s=duration * 0.5, mix=p["bg_mix"],
         mean_flow_bytes=mean, min_flow_bytes=300,
         max_flow_bytes=max(20 * mean, 300), packet_size=1000,
-        flow_rate_bps=2e7, seed=random.randrange(2 ** 31))
+        flow_rate_bps=2e7, seed=run_stream().randrange(2 ** 31))
     gen = WorkloadGenerator(network, spec, senders=hosts,
                             receivers=hosts)
     return gen.launch()

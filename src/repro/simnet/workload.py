@@ -42,9 +42,9 @@ import math
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
-from .packet import DEFAULT_MTU, PRIO_LOW, PROTO_UDP, FlowKey, make_udp
+from .packet import DEFAULT_MTU, PRIO_LOW, PROTO_UDP, FlowKey, Packet, make_udp
 from .topology import Network
 from .traffic import UdpCbrSource, UdpSink
 
@@ -326,7 +326,7 @@ class BackgroundTraffic:
         if self._heap:
             self.sim.schedule_at(self._heap[0][0], self._pump)
 
-    def _on_delivery(self, _pkt, _now: float) -> None:
+    def _on_delivery(self, _pkt: Packet, _now: float) -> None:
         self.delivered += 1
 
     def _pump(self) -> None:
@@ -440,7 +440,9 @@ class WorkloadGenerator:
 
     # -- post-run statistics ---------------------------------------------------
 
-    def size_percentiles(self, ps=(50, 90, 99)) -> dict[int, int]:
+    def size_percentiles(
+        self, ps: Sequence[int] = (50, 90, 99)
+    ) -> dict[int, int]:
         sizes = sorted(f.size_bytes for f in self.flows)
         if not sizes:
             return {p: 0 for p in ps}

@@ -12,6 +12,8 @@ this renderer's output.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .registry import SWEEPS, SweepSpec
 from .report import SCHEMA
 
@@ -105,7 +107,7 @@ number.
 """
 
 
-def _grid_cell(values) -> str:
+def _grid_cell(values: Sequence[object]) -> str:
     return ",".join(str(v) for v in values) if values else "(not swept)"
 
 

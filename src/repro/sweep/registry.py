@@ -160,8 +160,47 @@ class SweepRegistry:
                     f"sweep {spec.name!r}: nightly_points[{i}] axis "
                     f"{bad[0]!r} is not declared in axes"
                 )
+        self._validate_knob_bindings(spec)
         self._specs[spec.name] = spec
         return spec
+
+    @staticmethod
+    def _validate_knob_bindings(spec: SweepSpec) -> None:
+        """Every axis/base knob must be declared by the spec's scenario.
+
+        Sweeps are declared right after their scenario class in the
+        same module, so the scenario is normally resolvable here; when
+        it is not (a sweep declared ahead of its scenario), the static
+        ``knob-declaration`` pass of ``tools/reprolint`` still covers
+        the binding.  Either way a typo'd knob name fails before any
+        point runs, with the offender named.
+        """
+        # call-time import: scenario modules import this package to
+        # register their sweeps, so module scope would be a cycle
+        from ..scenarios.base import REGISTRY as scenarios
+
+        if spec.scenario not in scenarios:
+            return
+        declared = scenarios.get(spec.scenario).spec.knobs
+        for axis, knob in spec.axes.items():
+            if knob not in declared:
+                raise SweepError(
+                    f"sweep {spec.name!r}: axis {axis!r} binds knob "
+                    f"{knob!r}, which scenario {spec.scenario!r} does "
+                    f"not declare; declared: {', '.join(sorted(declared))}"
+                )
+        for source, names in (
+            ("base_knobs", spec.base_knobs),
+            ("expect_suspect_knob", [spec.expect_suspect_knob]),
+        ):
+            for knob in names:
+                if knob is not None and knob not in declared:
+                    raise SweepError(
+                        f"sweep {spec.name!r}: {source} names knob "
+                        f"{knob!r}, which scenario {spec.scenario!r} "
+                        f"does not declare; declared: "
+                        f"{', '.join(sorted(declared))}"
+                    )
 
     def get(self, name: str) -> SweepSpec:
         _load_declarations()

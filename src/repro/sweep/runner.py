@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import random
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Optional
 
+from ..core.rng import seed_run
 from .grid import GridError, expand_grid, point_seed
 from .registry import SweepSpec
 from .report import PointResult, SweepReport
@@ -44,8 +44,8 @@ def execute_point(payload: _PointPayload) -> PointResult:
     """Run one grid point; the multiprocessing task function."""
     scenario, knobs, seed, expect_problem, expect_suspect, index, params = payload
     result = PointResult(index=index, params=params, knobs=knobs, seed=seed)
-    random.seed(seed)
-    start = time.perf_counter()
+    seed_run(seed)
+    start = time.perf_counter()  # reprolint: allow[wall-clock]
     try:
         # imported here so pool workers (and spawn children) pull in the
         # scenario registry themselves, and so this module never imports
@@ -56,9 +56,10 @@ def execute_point(payload: _PointPayload) -> PointResult:
         outcome = run_scenario(scenario, **knobs)
     except Exception as exc:  # noqa: BLE001 - a point must never kill the sweep
         result.error = f"{type(exc).__name__}: {exc}"
-        result.wall_time_s = time.perf_counter() - start
+        result.wall_time_s = (  # reprolint: allow[wall-clock]
+            time.perf_counter() - start)
         return result
-    result.wall_time_s = time.perf_counter() - start
+    result.wall_time_s = time.perf_counter() - start  # reprolint: allow[wall-clock]
     result.phase_s = dict(outcome.timings)
     result.sim_time_s = outcome.sim_time
     result.problems = [v.problem for v in outcome.verdicts]
@@ -167,7 +168,7 @@ class Sweep:
         on_point: Optional[Callable[[PointResult], None]] = None,
     ) -> SweepReport:
         """Execute every point; ``on_point`` observes results as they land."""
-        start = time.perf_counter()
+        start = time.perf_counter()  # reprolint: allow[wall-clock]
         points: list[PointResult] = []
         if self.workers == 1 or len(self.payloads) <= 1:
             for payload in self.payloads:
@@ -214,5 +215,5 @@ class Sweep:
             workers=self.workers,
             grid=self.grid,
             points=points,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=time.perf_counter() - start,  # reprolint: allow[wall-clock]
         )

@@ -3,9 +3,9 @@ every grid point's diagnosis matches the single-run verdict for the
 same seed (the reproducibility contract docs/SWEEPS.md promises)."""
 
 import json
-import random
 
 from repro.cli import main
+from repro.core.rng import seed_run
 from repro.scenarios import run_scenario
 from repro.sweep import SWEEPS, validate_report
 
@@ -48,7 +48,7 @@ class TestSweepCli:
         doc = json.loads(out.read_text(encoding="utf-8"))
         spec = SWEEPS.get("incast")
         for point in doc["points"]:
-            random.seed(point["seed"])
+            seed_run(point["seed"])
             single = run_scenario("incast", **point["knobs"])
             problems = [v.problem for v in single.verdicts]
             assert point["problems"] == problems

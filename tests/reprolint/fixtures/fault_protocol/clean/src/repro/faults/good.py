@@ -1,0 +1,24 @@
+"""Fixture: the full schedule→inject→heal contract, honored."""
+
+from typing import Any, Optional
+
+from .base import Fault, register_fault
+
+
+@register_fault
+class GoodFault(Fault):
+    spec = "good"
+
+    def __init__(self) -> None:
+        self._saved: Optional[Any] = None
+        self.records_lost = 0  # public measurement surface
+
+    def inject(self, ctx: Any) -> None:
+        self._saved = ctx
+        self.records_lost = 1
+
+    def heal(self, ctx: Any) -> None:
+        self._saved = None
+
+    def describe(self) -> str:
+        return "good"

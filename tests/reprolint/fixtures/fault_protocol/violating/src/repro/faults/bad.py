@@ -1,0 +1,18 @@
+"""Fixture: three protocol breaches in one fault class."""
+
+from typing import Any
+
+from .base import Fault, register_fault
+
+
+@register_fault
+class BadFault(Fault):
+    spec = "bad"
+
+    # no heal() at all: the injected state can never be undone
+    def inject(self, ctx: Any) -> None:
+        self._saved = ctx  # saved but never referenced again
+        self.records_lost = 1  # public measurement attr: exempt
+
+    def describe(self, verbose: bool) -> str:
+        return "bad" if verbose else "b"

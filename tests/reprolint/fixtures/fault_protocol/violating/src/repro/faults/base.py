@@ -1,0 +1,18 @@
+"""Fixture stand-in for the fault protocol base."""
+
+from typing import Any
+
+
+class Fault:
+    def inject(self, ctx: Any) -> None:
+        raise NotImplementedError
+
+    def heal(self, ctx: Any) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return "fault"
+
+
+def register_fault(cls: type) -> type:
+    return cls

@@ -1,0 +1,42 @@
+"""Fixture: every knob access and sweep binding is declared,
+including knobs merged in through the shared-helper idiom."""
+
+from typing import Any
+
+from .base import Knob, Scenario, ScenarioSpec, SweepSpec, register_sweep
+
+
+def shared_knobs() -> dict[str, Knob]:
+    return {
+        "warmup": Knob(0.0, "warmup length (s)"),
+    }
+
+
+class FxScenario(Scenario):
+    spec = ScenarioSpec(
+        name="fx",
+        knobs={
+            "flows": Knob(4, "flow count"),
+            "duration": Knob(0.1, "run length (s)"),
+            **shared_knobs(),
+        },
+        smoke_knobs={"flows": 2},
+    )
+
+    def build(self) -> None:
+        self.p["flows"]
+
+    def execute(self) -> Any:
+        p = self.p
+        return p["duration"], p.get("warmup")
+
+
+register_sweep(
+    SweepSpec(
+        name="fx-sweep",
+        scenario="fx",
+        axes={"x": "flows"},
+        base_knobs={"duration": 0.2},
+        expect_suspect_knob="flows",
+    )
+)

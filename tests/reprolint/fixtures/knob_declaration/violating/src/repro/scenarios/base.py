@@ -1,0 +1,27 @@
+"""Fixture stand-ins for the scenario/sweep declaration surface."""
+
+from typing import Any
+
+
+class Knob:
+    def __init__(self, default: Any, help: str) -> None:
+        self.default = default
+        self.help = help
+
+
+class ScenarioSpec:
+    def __init__(self, **kw: Any) -> None:
+        self.kw = kw
+
+
+class SweepSpec:
+    def __init__(self, **kw: Any) -> None:
+        self.kw = kw
+
+
+class Scenario:
+    p: dict[str, Any] = {}
+
+
+def register_sweep(spec: SweepSpec) -> SweepSpec:
+    return spec

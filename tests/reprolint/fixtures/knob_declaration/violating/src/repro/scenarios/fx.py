@@ -1,0 +1,34 @@
+"""Fixture: undeclared knob use plus a sweep bound to ghost knobs."""
+
+from typing import Any
+
+from .base import Knob, Scenario, ScenarioSpec, SweepSpec, register_sweep
+
+
+class FxScenario(Scenario):
+    spec = ScenarioSpec(
+        name="fx",
+        knobs={
+            "flows": Knob(4, "flow count"),
+            "duration": Knob(0.1, "run length (s)"),
+        },
+        smoke_knobs={"rate": 1},
+    )
+
+    def build(self) -> None:
+        self.p["flows"]
+
+    def execute(self) -> Any:
+        p = self.p
+        return p["burst_len"], p.get("warmup")
+
+
+register_sweep(
+    SweepSpec(
+        name="fx-sweep",
+        scenario="fx",
+        axes={"x": "ghost_axis"},
+        base_knobs={"phantom": 9},
+        expect_suspect_knob="missing",
+    )
+)

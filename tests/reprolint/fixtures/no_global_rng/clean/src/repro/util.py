@@ -1,0 +1,7 @@
+"""Fixture: every draw comes from a seeded stream."""
+
+import random
+
+
+def pick(n: int, seed: int) -> int:
+    return random.Random(seed).randint(0, n)

@@ -1,0 +1,13 @@
+"""Fixture: draws through the interpreter-global random module."""
+
+import random
+from random import randrange
+
+
+def pick(n: int) -> int:
+    random.seed(7)
+    return random.randint(0, n)
+
+
+def pick_imported(n: int) -> int:
+    return randrange(n)

@@ -1,0 +1,14 @@
+"""Non-strict fixture: a declared wall-clock measurement site."""
+
+import time
+
+
+def measure() -> float:
+    return time.perf_counter()  # reprolint: allow[wall-clock]
+
+
+def measure_wrapped() -> float:
+    # pragma on the statement's first line blesses the wrapped call
+    return (  # reprolint: allow[wall-clock]
+        time.perf_counter()
+    )

@@ -1,0 +1,9 @@
+"""Strict-zone fixture: simulated time only."""
+
+
+class Sim:
+    now = 0.0
+
+
+def tick(sim: Sim) -> float:
+    return sim.now

@@ -1,0 +1,7 @@
+"""Non-strict fixture: an undeclared measurement site."""
+
+from time import perf_counter
+
+
+def measure() -> float:
+    return perf_counter()

@@ -1,0 +1,8 @@
+"""Strict-zone fixture: wall-clock in a simulated-time package."""
+
+import time
+
+
+def tick() -> float:
+    # the pragma must NOT rescue a strict-zone read
+    return time.time()  # reprolint: allow[wall-clock]

@@ -1,0 +1,6 @@
+"""Fixture aggregator importing every registering module."""
+
+from .base import Fault, register_fault
+from .orphan import OrphanFault
+
+__all__ = ["Fault", "OrphanFault", "register_fault"]

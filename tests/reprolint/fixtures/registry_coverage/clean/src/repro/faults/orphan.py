@@ -1,0 +1,8 @@
+"""Fixture: registers a fault the package aggregator imports."""
+
+from .base import Fault, register_fault
+
+
+@register_fault
+class OrphanFault(Fault):
+    spec = "orphan"

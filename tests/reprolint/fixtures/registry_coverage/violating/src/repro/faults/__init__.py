@@ -1,0 +1,5 @@
+"""Fixture aggregator that forgets one registering module."""
+
+from .base import Fault, register_fault
+
+__all__ = ["Fault", "register_fault"]

@@ -1,0 +1,9 @@
+"""Fixture stand-in for the fault registry surface."""
+
+
+class Fault:
+    pass
+
+
+def register_fault(cls: type) -> type:
+    return cls

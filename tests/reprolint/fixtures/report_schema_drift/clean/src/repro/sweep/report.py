@@ -1,0 +1,29 @@
+"""Fixture: writer and validator schema in lockstep."""
+
+from dataclasses import dataclass
+from typing import Any
+
+_POINT_FIELDS = {"index": int, "extra": str, "ok": bool}
+_TOP_FIELDS = {"schema": int, "points": list}
+
+
+@dataclass
+class PointResult:
+    index: int
+    extra: str
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def to_json(self) -> dict[str, Any]:
+        return {"index": self.index, "extra": self.extra, "ok": self.ok}
+
+
+@dataclass
+class SweepReport:
+    schema: int
+    points: list
+
+    def to_json(self) -> dict[str, Any]:
+        return {"schema": self.schema, "points": self.points}

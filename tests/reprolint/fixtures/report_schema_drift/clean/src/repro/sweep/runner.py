@@ -1,0 +1,9 @@
+"""Fixture: the runner writes only declared point fields."""
+
+from .report import PointResult
+
+
+def execute_point(index: int) -> PointResult:
+    result = PointResult(index=index, extra="x")
+    result.extra = "y"
+    return result

@@ -1,0 +1,26 @@
+"""Fixture: writer and validator schema have drifted apart."""
+
+from dataclasses import dataclass
+from typing import Any
+
+# validates 'seed' (which to_json never writes) and misses 'extra'
+_POINT_FIELDS = {"index": int, "seed": int}
+_TOP_FIELDS = {"schema": int, "points": list}
+
+
+@dataclass
+class PointResult:
+    index: int
+    extra: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {"index": self.index, "extra": self.extra}
+
+
+@dataclass
+class SweepReport:
+    schema: int
+    points: list
+
+    def to_json(self) -> dict[str, Any]:
+        return {"schema": self.schema, "points": self.points}

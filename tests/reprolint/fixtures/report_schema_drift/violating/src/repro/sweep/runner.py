@@ -1,0 +1,9 @@
+"""Fixture: the runner writes a point field the dataclass lacks."""
+
+from .report import PointResult
+
+
+def execute_point(index: int) -> PointResult:
+    result = PointResult(index=index, extra="x")
+    result.bogus = 1.5  # no such PointResult field
+    return result

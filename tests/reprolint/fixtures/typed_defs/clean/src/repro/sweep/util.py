@@ -1,0 +1,19 @@
+"""Fixture: typed-core functions fully annotated."""
+
+from typing import Iterable
+
+
+def scale(value: float, factor: float) -> float:
+    return value * factor
+
+
+def total(values: Iterable[float]) -> float:
+    out = 0.0
+    for v in values:
+        out += v
+    return out
+
+
+class Accumulator:
+    def __init__(self, start: float):
+        self.value = start

@@ -1,0 +1,17 @@
+"""Fixture: typed-core functions with annotation gaps."""
+
+
+def scale(value, factor: float) -> float:
+    return value * factor
+
+
+def total(values):
+    out = 0.0
+    for v in values:
+        out += v
+    return out
+
+
+class Accumulator:
+    def __init__(self, start):
+        self.value = start

@@ -1,0 +1,81 @@
+"""CLI behaviour: exit codes, baseline ratchet, rule selection."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import BASELINE_NAME, load_baseline
+from tools.reprolint.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def violating_tree(tmp_path):
+    """A writable copy of the no-global-rng violating fixture."""
+    shutil.copytree(FIXTURES / "no_global_rng" / "violating", tmp_path / "t")
+    return tmp_path / "t"
+
+
+def run(root: Path, *extra: str) -> int:
+    return main(["--root", str(root), "--rule", "no-global-rng", *extra])
+
+
+def test_clean_tree_exits_zero(capsys):
+    root = FIXTURES / "no_global_rng" / "clean"
+    assert run(root) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_violations_exit_one_with_locations(capsys):
+    root = FIXTURES / "no_global_rng" / "violating"
+    assert run(root) == 1
+    out = capsys.readouterr().out
+    assert "src/repro/util.py:" in out
+    assert "[no-global-rng]" in out
+    assert "3 violation(s)" in out
+
+
+def test_fix_baseline_then_clean(violating_tree, capsys):
+    assert run(violating_tree, "--fix-baseline") == 0
+    doc = json.loads((violating_tree / BASELINE_NAME).read_text())
+    assert len(doc["suppressions"]) == 3
+    capsys.readouterr()
+    # same tree now passes: every violation is baselined
+    assert run(violating_tree) == 0
+    assert "3 baselined" in capsys.readouterr().out
+
+
+def test_stale_baseline_entry_fails(violating_tree, capsys):
+    assert run(violating_tree, "--fix-baseline") == 0
+    fixed = (FIXTURES / "no_global_rng" / "clean" / "src" / "repro"
+             / "util.py").read_text()
+    (violating_tree / "src" / "repro" / "util.py").write_text(fixed)
+    capsys.readouterr()
+    # the violations are gone, but their baseline entries linger
+    assert run(violating_tree) == 1
+    out = capsys.readouterr().out
+    assert "stale baseline entry" in out
+    assert BASELINE_NAME in out
+
+
+def test_baseline_roundtrip(violating_tree):
+    run(violating_tree, "--fix-baseline")
+    keys = load_baseline(violating_tree)
+    assert len(keys) == 3
+    assert all(rule == "no-global-rng" for rule, _, _ in keys)
+
+
+def test_unknown_rule_exits_two(capsys):
+    root = FIXTURES / "no_global_rng" / "clean"
+    assert main(["--root", str(root), "--rule", "no-such-rule"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_list_prints_catalogue(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "no-wall-clock" in out
+    assert "allow[wall-clock]" in out

@@ -1,0 +1,21 @@
+"""The committed tree passes every rule with no baseline escape hatch.
+
+This is the same check CI's static-analysis job runs; keeping it in
+tier-1 means a violation fails locally in seconds, not at PR time.
+"""
+
+from pathlib import Path
+
+from tools.reprolint import BASELINE_NAME, run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean():
+    violations = run_lint(REPO, paths=("src",))
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_no_baseline_is_committed():
+    """The baseline is an onboarding ratchet, not a parking lot."""
+    assert not (REPO / BASELINE_NAME).exists()

@@ -56,6 +56,18 @@ class TestRegistration:
         with pytest.raises(ScenarioError, match="ScenarioSpec"):
             reg.register(type("NoSpec", (), {}))
 
+    def test_smoke_knob_naming_undeclared_knob_rejected(self):
+        reg = ScenarioRegistry()
+        spec = ScenarioSpec(name="sk", summary="s", paper_ref="p",
+                            expected_diagnosis="d",
+                            knobs={"flows": Knob(1, "flow count")},
+                            smoke_knobs={"flowz": 2})
+        bad = type("Bad", (_Dummy,), {"spec": spec})
+        with pytest.raises(ScenarioError,
+                           match=r"smoke_knobs name undeclared knob\(s\) "
+                                 r"\['flowz'\]"):
+            reg.register(bad)
+
     def test_unknown_name_raises_with_known_list(self):
         with pytest.raises(ScenarioError, match="unknown scenario"):
             REGISTRY.get("no-such-scenario")

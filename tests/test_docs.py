@@ -173,6 +173,61 @@ class TestBenchmarksPage:
         assert "docs/BENCHMARKS.md" in readme
 
 
+class TestLintingPage:
+    def test_linting_md_matches_rule_registry(self):
+        """docs/LINTING.md must be regenerated when the rule registry
+        changes (python tools/gen_lint_docs.py)."""
+        from tools.reprolint.catalog import rules_markdown
+
+        page = (REPO / "docs" / "LINTING.md").read_text(encoding="utf-8")
+        assert page == rules_markdown()
+
+    def test_every_rule_documented(self):
+        from tools.reprolint import RULES
+        from tools.reprolint import rules  # noqa: F401
+
+        page = (REPO / "docs" / "LINTING.md").read_text(encoding="utf-8")
+        for spec in RULES.specs():
+            assert f"### `{spec.name}`" in page
+            assert spec.summary in page
+
+    def test_generator_check_mode_passes(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "gen_lint_docs.py"),
+             "--check"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_linked_from_readme_and_architecture(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/LINTING.md" in readme
+        arch = (REPO / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8")
+        assert "LINTING.md" in arch
+
+
+class TestDocsDriver:
+    def test_check_docs_runs_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_docs.py")],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_driver_covers_every_generator(self):
+        """A new gen_*_docs.py script must join the driver registry."""
+        sys.path.insert(0, str(REPO))
+        try:
+            from tools.check_docs import CHECKS
+        finally:
+            sys.path.pop(0)
+        driven = {args[0] for _, args in CHECKS}
+        generators = {
+            f"tools/{p.name}" for p in (REPO / "tools").glob("gen_*_docs.py")
+        }
+        assert generators <= driven
+        assert "tools/check_links.py" in driven
+
+
 class TestArchitecturePage:
     def test_exists_and_mentions_layers(self):
         page = (REPO / "docs" / "ARCHITECTURE.md").read_text(

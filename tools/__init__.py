@@ -1,0 +1,6 @@
+"""Repo tooling: doc generators, CI gates, and the reprolint checker.
+
+The scripts in this directory run standalone (``python tools/<x>.py``);
+the ``reprolint`` package runs as a module (``python -m tools.reprolint``)
+and is importable for its rule registry and fixture tests.
+"""

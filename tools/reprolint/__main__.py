@@ -1,0 +1,136 @@
+"""CLI for reprolint: ``python -m tools.reprolint [paths...]``.
+
+Exit codes: 0 clean (or all violations baselined), 1 violations or a
+stale baseline, 2 usage errors.  ``--fix-baseline`` accepts the current
+findings into ``.reprolint-baseline.json`` so a new rule can land
+before the tree fully passes it; the committed tree carries none.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from . import (
+    BASELINE_NAME,
+    RULES,
+    LintError,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+
+def _default_root() -> Path:
+    # tools/reprolint/__main__.py -> the repository root two levels up
+    return Path(__file__).resolve().parents[2]
+
+
+def _list_rules() -> None:
+    from . import rules as _rules  # noqa: F401  (registers the catalogue)
+
+    for spec in RULES.specs():
+        pragma = f"allow[{spec.pragma}]" if spec.pragma else "no pragma"
+        print(f"{spec.name:20s} {spec.summary}  ({pragma})")
+        print(f"{'':20s} scope: {spec.scope}")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST invariant checks for determinism, registry "
+        "conformance, and typed-core completeness.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint, relative to --root "
+        "(default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root paths are resolved against (default: the "
+        "repository root containing tools/)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help=f"write current violations to {BASELINE_NAME} instead of "
+        "failing on them",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _list_rules()
+        return 0
+
+    root = (args.root or _default_root()).resolve()
+    if not root.is_dir():
+        print(f"reprolint: --root {root} is not a directory", file=sys.stderr)
+        return 2
+    try:
+        violations = run_lint(
+            root,
+            paths=tuple(args.paths),
+            rules=tuple(args.rule) if args.rule else None,
+        )
+        if args.fix_baseline:
+            path = write_baseline(root, violations)
+            print(
+                f"reprolint: baselined {len(violations)} violation(s) "
+                f"in {path}"
+            )
+            return 0
+        baseline = load_baseline(root)
+    except LintError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    fresh = [v for v in violations if v.key() not in baseline]
+    seen = {v.key() for v in violations}
+    stale = sorted(k for k in baseline if k not in seen)
+
+    for violation in fresh:
+        print(violation.render())
+    for rule, rel, message in stale:
+        print(
+            f"{rel}: [{rule}] stale baseline entry — the violation is "
+            f"gone; remove it from {BASELINE_NAME}: {message}"
+        )
+    suppressed = len(violations) - len(fresh)
+    if fresh or stale:
+        summary = f"reprolint: {len(fresh)} violation(s)"
+        if suppressed:
+            summary += f", {suppressed} baselined"
+        if stale:
+            summary += f", {len(stale)} stale baseline entr(y/ies)"
+        print(summary)
+        return 1
+    checked = len(RULES.names()) if args.rule is None else len(args.rule)
+    print(
+        f"reprolint: clean ({checked} rule(s)"
+        + (f", {suppressed} baselined" if suppressed else "")
+        + ")"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,987 @@
+"""The rule catalogue: every registered reprolint invariant.
+
+Each rule mirrors one contract the runtime enforces late (or cannot
+enforce at all) and fails it at lint time instead, in the spirit of
+pushing checks to where the evidence lives:
+
+* determinism — ``no-wall-clock``, ``no-global-rng``: simulated time
+  and seeded RNG streams are the reproducibility spine;
+* registry conformance — ``knob-declaration``, ``fault-protocol``,
+  ``registry-coverage``: the decorator registries only police what
+  gets *registered*, not what a module forgot to declare or import;
+* schema/typing drift — ``report-schema-drift``, ``typed-defs``: the
+  sweep-report validator and the mypy typed-core must match the code
+  that feeds them.
+
+Rules are pure AST passes over the :class:`~tools.reprolint.model.Project`
+— nothing under check is imported, so they run identically on the real
+tree and on the violating fixture trees the unit tests commit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from . import Rule, RuleSpec, Violation, register_rule
+from .model import Module, Project
+
+# ---------------------------------------------------------------------------
+# scopes shared by several rules
+# ---------------------------------------------------------------------------
+
+#: Everything reprolint polices lives here.
+SRC = "src/repro"
+
+#: Packages where wall-clock reads are banned outright (no pragma):
+#: their only clock is the simulator's.
+SIMULATED_TIME_CORE = (
+    f"{SRC}/simnet",
+    f"{SRC}/faults",
+    f"{SRC}/switchd",
+    f"{SRC}/hostd",
+)
+
+#: The typed-core subset mypy checks strictly in CI; the ``typed-defs``
+#: rule enforces the same annotation completeness without needing mypy
+#: installed.  Keep in lockstep with the static-analysis CI job.
+TYPED_CORE = (
+    f"{SRC}/sweep",
+    f"{SRC}/faults",
+    f"{SRC}/scenarios/base.py",
+    f"{SRC}/simnet/workload.py",
+)
+
+#: Registry packages whose ``__init__.py`` must import every
+#: registering module (rule ``registry-coverage``).
+REGISTRY_PACKAGES = (f"{SRC}/scenarios", f"{SRC}/faults", f"{SRC}/sweep")
+
+
+# ---------------------------------------------------------------------------
+# small AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    """The bare name a call is made through (``Spec(...)``, ``m.Spec(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _decorator_names(node: ast.ClassDef) -> set[str]:
+    out = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            out.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            out.add(target.attr)
+    return out
+
+
+def _str_kwarg(call: ast.Call, name: str) -> Optional[str]:
+    for kw in call.keywords:
+        if kw.arg == name and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value
+    return None
+
+
+def _kwarg(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt for stmt in node.body if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, as seen by the AST (no imports resolved)."""
+
+    module: Module
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+
+
+def _class_map(project: Project, *prefixes: str) -> dict[str, ClassInfo]:
+    classes: dict[str, ClassInfo] = {}
+    for module in project.under(*prefixes):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = ClassInfo(
+                    module=module, node=node, bases=_base_names(node)
+                )
+    return classes
+
+
+def _reaches(classes: dict[str, ClassInfo], name: str, target: str) -> bool:
+    """Does ``name`` transitively subclass ``target`` (by base names)?"""
+    seen = set()
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = classes.get(current)
+        if info is None:
+            continue
+        for base in info.bases:
+            if base == target:
+                return True
+            frontier.append(base)
+    return False
+
+
+def _ancestry(
+    classes: dict[str, ClassInfo], name: str, stop: str
+) -> Iterator[ClassInfo]:
+    """``name`` and its in-project ancestors, excluding ``stop``'s class."""
+    seen = set()
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current in seen or current == stop:
+            continue
+        seen.add(current)
+        info = classes.get(current)
+        if info is None:
+            continue
+        yield info
+        frontier.extend(info.bases)
+
+
+def _self_attr_name(node: ast.expr, self_name: str) -> Optional[str]:
+    """``self.<attr>`` -> attr (for the method's actual self name)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# R1: no-wall-clock
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class NoWallClock(Rule):
+    """Simulated components must consume simulated time only."""
+
+    spec = RuleSpec(
+        name="no-wall-clock",
+        summary="wall-clock reads (time.time, datetime.now, "
+        "perf_counter, ...) are banned in simulated components",
+        rationale="The epoch design assumes ε-bounded *simulated* "
+        "asynchrony: one stray wall-clock read in simnet/faults/"
+        "switchd/hostd couples results to host load and breaks "
+        "bit-identical replay of a recorded seed.",
+        scope="src/repro/ — strict (no pragma) in simnet/, faults/, "
+        "switchd/, hostd/; elsewhere a declared measurement site may "
+        "carry the pragma",
+        pragma="wall-clock",
+        fix="Use the simulator clock (network.sim.now / EpochClock); "
+        "for genuine wall-clock *measurements* in sweep/scenario "
+        "runners, annotate the site with the pragma.",
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in project.under(SRC):
+            strict = any(
+                module.rel.startswith(p + "/") or module.rel == p
+                for p in SIMULATED_TIME_CORE
+            )
+            for call, stmt in module.calls_with_statements():
+                name = module.qualified_call(call)
+                if name not in _WALL_CLOCK_CALLS:
+                    continue
+                if strict:
+                    yield self.violation(
+                        module,
+                        call.lineno,
+                        f"{name}() in a simulated-time package — use "
+                        f"the simulator clock (allow[wall-clock] is "
+                        f"not honored here)",
+                    )
+                elif not module.allows(call, "wall-clock", stmt=stmt):
+                    yield self.violation(
+                        module,
+                        call.lineno,
+                        f"{name}() without a '# reprolint: "
+                        f"allow[wall-clock]' pragma — simulated "
+                        f"behaviour must not read the host clock",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R2: no-global-rng
+# ---------------------------------------------------------------------------
+
+_RNG_CLASSES = {"Random", "SystemRandom"}
+
+
+@register_rule
+class NoGlobalRng(Rule):
+    """All randomness flows through seeded streams, never module state."""
+
+    spec = RuleSpec(
+        name="no-global-rng",
+        summary="calls through the module-level random (random.seed, "
+        "random.sample, ...) are banned; use a seeded stream",
+        rationale="The interpreter-global RNG is shared, reseedable "
+        "state: any library call can advance it and silently change "
+        "a recorded sweep point's replay.  Seeded random.Random "
+        "instances — repro.core.rng.run_stream(), workload._stream() "
+        "— keep every draw attributable to a recorded seed.",
+        scope="src/repro/",
+        pragma=None,
+        fix="Draw from repro.core.rng.run_stream() for ambient "
+        "randomness, or give the component its own seeded "
+        "random.Random when it owns a seed knob.",
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in project.under(SRC):
+            for call, _stmt in module.calls_with_statements():
+                name = module.qualified_call(call)
+                if name is None or not name.startswith("random."):
+                    continue
+                fn = name.removeprefix("random.")
+                if fn in _RNG_CLASSES or "." in fn:
+                    continue  # seeded instance construction is the fix
+                yield self.violation(
+                    module,
+                    call.lineno,
+                    f"{name}() draws from the module-level random — "
+                    f"use repro.core.rng.run_stream() or a seeded "
+                    f"random.Random so the draw replays from a "
+                    f"recorded seed",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R3: knob-declaration
+# ---------------------------------------------------------------------------
+
+
+def _knob_helper_keys(
+    project: Project, fn_name: str, depth: int = 0
+) -> Optional[set[str]]:
+    """Keys of the dict literal a knob-helper function returns.
+
+    Resolves the ``**background_knobs()`` idiom: a module-level
+    function (anywhere in the scanned tree) whose return statement is
+    a dict literal of constant keys.  Returns None when the helper
+    cannot be resolved statically.
+    """
+    if depth > 2:
+        return None
+    for module in project.under(SRC):
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.FunctionDef) or stmt.name != fn_name:
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+                    keys, closed = _dict_knob_keys(project, node.value, depth + 1)
+                    return keys if closed else None
+            return None
+    return None
+
+
+def _dict_knob_keys(
+    project: Project, node: ast.Dict, depth: int = 0
+) -> tuple[set[str], bool]:
+    """(keys, fully-resolved?) of a knob dict literal with ** merges."""
+    keys: set[str] = set()
+    closed = True
+    for key, value in zip(node.keys, node.values):
+        if key is None:  # a ``**expr`` merge entry
+            sub: Optional[set[str]] = None
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                sub = _knob_helper_keys(project, value.func.id, depth)
+            if sub is None:
+                closed = False
+            else:
+                keys |= sub
+        elif isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.add(key.value)
+        else:
+            closed = False
+    return keys, closed
+
+
+@dataclass
+class ScenarioModel:
+    """Statically-derived view of one Scenario subclass."""
+
+    info: ClassInfo
+    name: Optional[str]  # ScenarioSpec name=, when given literally
+    knobs: set[str]
+    closed: bool  # False when the knob set could not be fully resolved
+    spec_call: Optional[ast.Call]
+
+
+def _scenario_models(project: Project) -> dict[str, ScenarioModel]:
+    classes = _class_map(project, SRC)
+    models: dict[str, ScenarioModel] = {}
+    for cls_name, info in classes.items():
+        if not _reaches(classes, cls_name, "Scenario"):
+            continue
+        spec_call = None
+        for owner in [info, *(_ancestry(classes, cls_name, "Scenario"))]:
+            for stmt in owner.node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "spec"
+                        for t in stmt.targets
+                    )
+                    and isinstance(stmt.value, ast.Call)
+                    and _callee_name(stmt.value) == "ScenarioSpec"
+                ):
+                    spec_call = stmt.value
+                    break
+            if spec_call is not None:
+                break
+        knobs: set[str] = set()
+        closed = spec_call is not None
+        if spec_call is not None:
+            knobs_node = _kwarg(spec_call, "knobs")
+            if knobs_node is None:
+                pass  # a scenario may declare no knobs at all
+            elif isinstance(knobs_node, ast.Dict):
+                knobs, closed = _dict_knob_keys(project, knobs_node)
+            elif isinstance(knobs_node, ast.Call) and isinstance(
+                knobs_node.func, ast.Name
+            ):
+                # the knobs=_shared_knobs(...) helper idiom
+                resolved = _knob_helper_keys(project, knobs_node.func.id)
+                if resolved is None:
+                    closed = False
+                else:
+                    knobs = set(resolved)
+            else:
+                closed = False
+        models[cls_name] = ScenarioModel(
+            info=info,
+            name=_str_kwarg(spec_call, "name") if spec_call else None,
+            knobs=knobs,
+            closed=closed,
+            spec_call=spec_call,
+        )
+    return models
+
+
+def _knob_accesses(
+    node: ast.ClassDef,
+) -> Iterator[tuple[str, int]]:
+    """Every literal ``self.p["..."]`` / ``self.p.get("...")`` access,
+    including through a local ``p = self.p`` alias."""
+    for fn in node.body:
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = fn.args.posonlyargs + fn.args.args
+        if not args:
+            continue
+        self_name = args[0].arg
+        aliases = {
+            stmt.targets[0].id
+            for stmt in ast.walk(fn)
+            if isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and _self_attr_name(stmt.value, self_name) == "p"
+        }
+
+        def is_p(expr: ast.expr) -> bool:
+            if _self_attr_name(expr, self_name) == "p":
+                return True
+            return isinstance(expr, ast.Name) and expr.id in aliases
+
+        for sub in ast.walk(fn):
+            if (
+                isinstance(sub, ast.Subscript)
+                and is_p(sub.value)
+                and isinstance(sub.slice, ast.Constant)
+                and isinstance(sub.slice.value, str)
+            ):
+                yield sub.slice.value, sub.lineno
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "get"
+                and is_p(sub.func.value)
+                and sub.args
+                and isinstance(sub.args[0], ast.Constant)
+                and isinstance(sub.args[0].value, str)
+            ):
+                yield sub.args[0].value, sub.lineno
+
+
+@register_rule
+class KnobDeclaration(Rule):
+    """Knob use and knob declaration cannot drift apart."""
+
+    spec = RuleSpec(
+        name="knob-declaration",
+        summary="every self.p[...] access in a Scenario must be a "
+        "declared knob, and every SweepSpec binding must name one",
+        rationale="Knobs are the contract between scenarios, sweeps, "
+        "the CLI and the generated docs: an undeclared access dies as "
+        "a KeyError mid-run (after minutes of build time at scale), "
+        "and a sweep axis bound to a misspelled knob silently sweeps "
+        "nothing.",
+        scope="src/repro/ (Scenario subclasses and SweepSpec "
+        "declarations; knob sets resolved through the "
+        "background_knobs()/fault_knobs() helper idiom)",
+        pragma=None,
+        fix="Declare the knob in the scenario's spec.knobs (with a "
+        "default and help string), or fix the name at the use site.",
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        models = _scenario_models(project)
+        by_scenario_name = {m.name: m for m in models.values() if m.name is not None}
+        for cls_name, model in sorted(models.items()):
+            if not model.closed:
+                continue  # dynamic knob construction: nothing provable
+            for knob, lineno in _knob_accesses(model.info.node):
+                if knob not in model.knobs:
+                    yield self.violation(
+                        model.info.module,
+                        lineno,
+                        f"{cls_name} accesses undeclared knob {knob!r} "
+                        f"(spec.knobs declares: "
+                        f"{', '.join(sorted(model.knobs)) or '(none)'})",
+                    )
+            if model.spec_call is not None:
+                smoke = _kwarg(model.spec_call, "smoke_knobs")
+                if isinstance(smoke, ast.Dict):
+                    for key in smoke.keys:
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and key.value not in model.knobs
+                        ):
+                            yield self.violation(
+                                model.info.module,
+                                key.lineno,
+                                f"{cls_name} smoke_knobs names "
+                                f"undeclared knob {key.value!r}",
+                            )
+        yield from self._check_sweep_specs(project, by_scenario_name)
+
+    def _check_sweep_specs(
+        self,
+        project: Project,
+        scenarios: dict[str, ScenarioModel],
+    ) -> Iterator[Violation]:
+        for module in project.under(SRC):
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and _callee_name(node) == "SweepSpec"
+                ):
+                    continue
+                scenario = _str_kwarg(node, "scenario")
+                model = scenarios.get(scenario) if scenario else None
+                if model is None or not model.closed:
+                    continue
+                sweep = _str_kwarg(node, "name") or scenario
+                axes = _kwarg(node, "axes")
+                if isinstance(axes, ast.Dict):
+                    for key, value in zip(axes.keys, axes.values):
+                        if not (
+                            isinstance(value, ast.Constant)
+                            and isinstance(value.value, str)
+                        ):
+                            continue
+                        if value.value not in model.knobs:
+                            axis = key.value if isinstance(key, ast.Constant) else "?"
+                            yield self.violation(
+                                module,
+                                value.lineno,
+                                f"sweep {sweep!r}: axis {axis!r} binds "
+                                f"knob {value.value!r}, which scenario "
+                                f"{scenario!r} does not declare",
+                            )
+                base_knobs = _kwarg(node, "base_knobs")
+                if isinstance(base_knobs, ast.Dict):
+                    for key in base_knobs.keys:
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and key.value not in model.knobs
+                        ):
+                            yield self.violation(
+                                module,
+                                key.lineno,
+                                f"sweep {sweep!r}: base_knobs names "
+                                f"undeclared knob {key.value!r} of "
+                                f"scenario {scenario!r}",
+                            )
+                suspect = _kwarg(node, "expect_suspect_knob")
+                if (
+                    isinstance(suspect, ast.Constant)
+                    and isinstance(suspect.value, str)
+                    and suspect.value not in model.knobs
+                ):
+                    yield self.violation(
+                        module,
+                        suspect.lineno,
+                        f"sweep {sweep!r}: expect_suspect_knob names "
+                        f"undeclared knob {suspect.value!r} of "
+                        f"scenario {scenario!r}",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R4: fault-protocol
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class FaultProtocol(Rule):
+    """Fault subclasses implement the full schedule→inject→heal contract."""
+
+    spec = RuleSpec(
+        name="fault-protocol",
+        summary="Fault subclasses must override inject and heal, keep "
+        "describe's signature, and heal the state inject saves",
+        rationale="abc catches a missing inject/heal only when the "
+        "fault is first instantiated — possibly in a nightly sweep. "
+        "And a fault whose inject stashes saved state (self._saved) "
+        "that heal never touches cannot restore the system, which "
+        "corrupts every stop=/multi-fault composition.",
+        scope="src/repro/faults/",
+        pragma=None,
+        fix="Implement both transitions; reference every private "
+        "attribute inject assigns from heal() (or finalize()).  "
+        "Public attributes are the fault's measured surface and are "
+        "exempt.",
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        classes = _class_map(project, f"{SRC}/faults")
+        for cls_name in sorted(classes):
+            info = classes[cls_name]
+            if not _reaches(classes, cls_name, "Fault"):
+                continue
+            chain = list(_ancestry(classes, cls_name, "Fault"))
+            defined: dict[str, ast.FunctionDef] = {}
+            for owner in chain:
+                for name, fn in _methods(owner.node).items():
+                    defined.setdefault(name, fn)
+            for required in ("inject", "heal"):
+                if required not in defined:
+                    yield self.violation(
+                        info.module,
+                        info.node.lineno,
+                        f"{cls_name} does not override {required}() — "
+                        f"the fault protocol requires both state "
+                        f"transitions",
+                    )
+            own = _methods(info.node)
+            describe = own.get("describe")
+            if describe is not None:
+                params = describe.args.posonlyargs + describe.args.args
+                if len(params) != 1 or describe.args.kwonlyargs:
+                    yield self.violation(
+                        info.module,
+                        describe.lineno,
+                        f"{cls_name}.describe() must take only self — "
+                        f"the registry renders it uniformly",
+                    )
+            yield from self._check_saved_state(info, defined)
+
+    def _check_saved_state(
+        self, info: ClassInfo, defined: dict[str, ast.FunctionDef]
+    ) -> Iterator[Violation]:
+        inject = _methods(info.node).get("inject")
+        if inject is None:
+            return
+        args = inject.args.posonlyargs + inject.args.args
+        if not args:
+            return
+        self_name = args[0].arg
+        saved: dict[str, int] = {}
+        for node in ast.walk(inject):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = _self_attr_name(target, self_name)
+                if attr is not None and attr.startswith("_"):
+                    saved.setdefault(attr, target.lineno)
+        if not saved:
+            return
+        referenced: set[str] = set()
+        for name in ("heal", "finalize"):
+            fn = defined.get(name)
+            if fn is None:
+                continue
+            fn_args = fn.args.posonlyargs + fn.args.args
+            fn_self = fn_args[0].arg if fn_args else "self"
+            for node in ast.walk(fn):
+                attr = _self_attr_name(node, fn_self)
+                if attr is not None:
+                    referenced.add(attr)
+        for attr, lineno in sorted(saved.items(), key=lambda kv: kv[1]):
+            if attr not in referenced:
+                yield self.violation(
+                    info.module,
+                    lineno,
+                    f"{info.node.name}.inject() saves self.{attr} but "
+                    f"heal()/finalize() never references it — the "
+                    f"fault cannot undo what it saved",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R5: registry-coverage
+# ---------------------------------------------------------------------------
+
+_REGISTER_DECORATORS = {"register", "register_fault"}
+
+
+def _registers_something(
+    module: Module, classes: dict[str, ClassInfo]
+) -> Optional[str]:
+    """What this module registers, if anything (a human-readable tag)."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            if _decorator_names(node) & _REGISTER_DECORATORS:
+                return f"registered class {node.name}"
+            has_spec = any(
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "spec" for t in stmt.targets
+                )
+                for stmt in node.body
+            )
+            if has_spec and (
+                _reaches(classes, node.name, "Scenario")
+                or _reaches(classes, node.name, "Fault")
+            ):
+                return f"registrable class {node.name}"
+        elif isinstance(node, ast.Call) and _callee_name(node) == "register_sweep":
+            return "a register_sweep declaration"
+    return None
+
+
+@register_rule
+class RegistryCoverage(Rule):
+    """Registering modules must be reachable from their package import."""
+
+    spec = RuleSpec(
+        name="registry-coverage",
+        summary="every scenarios/, faults/, sweep/ module that "
+        "registers something must be imported by its package "
+        "__init__.py",
+        rationale="Registration is an import side effect: a module the "
+        "package aggregator never imports simply vanishes — its "
+        "scenario/fault/sweep is absent from the CLI, the nightly "
+        "driver, and the generated catalogues, with no error "
+        "anywhere.",
+        scope="src/repro/scenarios/, src/repro/faults/, "
+        "src/repro/sweep/",
+        pragma=None,
+        fix="Import the module from the package __init__.py (the "
+        "catalogue aggregator), the way every sibling module is.",
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        classes = _class_map(project, SRC)
+        for package in REGISTRY_PACKAGES:
+            init = project.get(f"{package}/__init__.py")
+            if init is None:
+                continue
+            imported: set[str] = set()
+            for node in ast.walk(init.tree):
+                if isinstance(node, ast.ImportFrom) and node.level >= 1:
+                    if node.module is None:  # from . import mod
+                        imported.update(a.name for a in node.names)
+                    else:
+                        imported.add(node.module.split(".")[0])
+            for module in project.under(package):
+                stem = module.rel.rsplit("/", 1)[-1].removesuffix(".py")
+                if stem == "__init__":
+                    continue
+                what = _registers_something(module, classes)
+                if what is not None and stem not in imported:
+                    yield self.violation(
+                        module,
+                        1,
+                        f"module defines {what} but "
+                        f"{package}/__init__.py never imports it — "
+                        f"the registry (and every catalogue built "
+                        f"from it) will not see this module",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R6: report-schema-drift
+# ---------------------------------------------------------------------------
+
+
+def _class_def(module: Module, name: str) -> Optional[ast.ClassDef]:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _module_dict_keys(module: Module, var: str) -> Optional[set[str]]:
+    for node in module.tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == var for t in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == var
+        ):
+            value = node.value
+        if isinstance(value, ast.Dict):
+            return {
+                k.value
+                for k in value.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+    return None
+
+
+def _to_json_keys(cls: ast.ClassDef) -> Optional[dict[str, int]]:
+    fn = _methods(cls).get("to_json")
+    if fn is None:
+        return None
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            return {
+                k.value: k.lineno
+                for k in node.value.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+    return None
+
+
+@register_rule
+class ReportSchemaDrift(Rule):
+    """The sweep-report writer and its validator stay in lockstep."""
+
+    spec = RuleSpec(
+        name="report-schema-drift",
+        summary="fields written into SweepReport/PointResult JSON must "
+        "match the report.py validator schema (and vice versa)",
+        rationale="validate_report rejects unknown fields, so a field "
+        "added to to_json() without a schema entry makes every new "
+        "report invalid; a schema entry nothing writes makes every "
+        "report *fail* validation.  Either way CI's nightly artifacts "
+        "and the benchmark gate stop trusting the numbers.",
+        scope="src/repro/sweep/report.py and src/repro/sweep/runner.py",
+        pragma=None,
+        fix="Add the field to the dataclass, to_json(), and the "
+        "_POINT_FIELDS/_TOP_FIELDS schema together (and bump the "
+        "schema version for readers).",
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        report = project.get(f"{SRC}/sweep/report.py")
+        if report is None:
+            return
+        point_cls = _class_def(report, "PointResult")
+        report_cls = _class_def(report, "SweepReport")
+        yield from self._check_pair(report, point_cls, "_POINT_FIELDS", "PointResult")
+        yield from self._check_pair(report, report_cls, "_TOP_FIELDS", "SweepReport")
+        if point_cls is not None:
+            fields = {
+                stmt.target.id
+                for stmt in point_cls.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            }
+            yield from self._check_runner_writes(project, fields)
+
+    def _check_pair(
+        self,
+        report: Module,
+        cls: Optional[ast.ClassDef],
+        schema_var: str,
+        label: str,
+    ) -> Iterator[Violation]:
+        schema = _module_dict_keys(report, schema_var)
+        written = _to_json_keys(cls) if cls is not None else None
+        if schema is None or written is None:
+            return
+        for name, lineno in sorted(written.items()):
+            if name not in schema:
+                yield self.violation(
+                    report,
+                    lineno,
+                    f"{label}.to_json() writes {name!r} but "
+                    f"{schema_var} does not validate it — every new "
+                    f"report will be rejected as invalid",
+                )
+        for name in sorted(schema - set(written)):
+            yield self.violation(
+                report,
+                1,
+                f"{schema_var} requires {name!r} but "
+                f"{label}.to_json() never writes it — every report "
+                f"will fail validation",
+            )
+
+    def _check_runner_writes(
+        self, project: Project, fields: set[str]
+    ) -> Iterator[Violation]:
+        runner = project.get(f"{SRC}/sweep/runner.py")
+        if runner is None or not fields:
+            return
+        for fn in ast.walk(runner.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            results = {
+                stmt.targets[0].id
+                for stmt in ast.walk(fn)
+                if isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+                and _callee_name(stmt.value) == "PointResult"
+            }
+            if not results:
+                continue
+            for stmt in ast.walk(fn):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in results
+                        and target.attr not in fields
+                    ):
+                        yield self.violation(
+                            runner,
+                            target.lineno,
+                            f"point field {target.attr!r} is written "
+                            f"here but PointResult declares no such "
+                            f"field — it would never reach the report",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# R7: typed-defs
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class TypedDefs(Rule):
+    """The typed core carries complete annotations (mypy's local mirror)."""
+
+    spec = RuleSpec(
+        name="typed-defs",
+        summary="every function in the typed-core subset (sweep/, "
+        "faults/, scenarios/base.py, simnet/workload.py) has complete "
+        "parameter and return annotations",
+        rationale="CI runs mypy over exactly this subset with "
+        "disallow_untyped_defs; this rule enforces the same "
+        "completeness from the AST, so the gap surfaces in any "
+        "environment — including ones without mypy installed.",
+        scope="src/repro/sweep/, src/repro/faults/, "
+        "src/repro/scenarios/base.py, src/repro/simnet/workload.py",
+        pragma=None,
+        fix="Annotate every parameter (typing.Any is acceptable where "
+        "the value is genuinely dynamic) and the return type; "
+        "__init__ may omit the return when at least one parameter is "
+        "annotated.",
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in project.under(*TYPED_CORE):
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: Module, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        params = fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+        missing = []
+        annotated = 0
+        for index, arg in enumerate(params):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+            else:
+                annotated += 1
+        for star in (fn.args.vararg, fn.args.kwarg):
+            if star is None:
+                continue
+            if star.annotation is None:
+                missing.append(f"*{star.arg}")
+            else:
+                annotated += 1
+        if missing:
+            yield self.violation(
+                module,
+                fn.lineno,
+                f"{fn.name}() is missing parameter annotation(s) for "
+                f"{', '.join(missing)} (typed-core runs mypy strict "
+                f"on defs)",
+            )
+        if fn.returns is None and not (fn.name == "__init__" and annotated):
+            yield self.violation(
+                module,
+                fn.lineno,
+                f"{fn.name}() is missing its return annotation "
+                f"(typed-core runs mypy strict on defs)",
+            )
