@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli sweep run incast --grid hosts=64,256,1024
     python -m repro.cli sweep run incast-scale --grid hosts=256 flows=2000
     python -m repro.cli sweep nightly            # every sweep, reduced grid
+    python -m repro.cli experiment list          # registered run-table studies
+    python -m repro.cli experiment run skew-degradation --reps 5
+    python -m repro.cli experiment nightly       # every experiment
     python -m repro.cli faults list              # registered faults
     python -m repro.cli sizing --hosts 100000 --alpha 10 --k 3
 
@@ -39,6 +42,8 @@ from .core.epoch import EpochRange
 from .core.rng import seed_run
 from .core.sizing import (push_bandwidth_bps, recycling_period_ms,
                           total_switch_memory_bytes)
+from .experiment import (EXPERIMENTS, Experiment, ExperimentError,
+                         validate_experiment_report)
 from .faults import FAULTS
 from .scenarios import (REGISTRY, ScenarioError, run_cascades_scenario,
                         run_contention_scenario,
@@ -266,6 +271,122 @@ def cmd_sweep_nightly(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# experiments (seeded run tables over registered sweeps)
+# ---------------------------------------------------------------------------
+
+def cmd_experiment_list(_args) -> int:
+    print("experiments (python -m repro.cli experiment run <name>):")
+    for spec in EXPERIMENTS.specs():
+        points = 1
+        for values in spec.axes.values():
+            points *= len(values)
+        axes = ",".join(spec.axes)
+        print(f"  {spec.name:20s} sweep: {spec.sweep}  axes: {axes}  "
+              f"table: {points}x{spec.reps}")
+        print(f"  {'':20s} {spec.summary}")
+    return 0
+
+
+def _show_run(run, event) -> None:
+    """One progress line per accounted-for (point, rep) run."""
+    params = ", ".join(f"{k}={v}" for k, v in run.params.items())
+    print(f"  run {run.index} (point {run.point} rep {run.rep}): "
+          f"{params}  seed={run.seed}  [{event}]")
+
+
+def _finish_experiment(experiment, report, out_dir: Path) -> int:
+    """Validate, summarise, and grade one completed (or partial) study."""
+    if report is None:
+        done = sum(1 for p in (out_dir / "runs").glob("point*.json"))
+        print(f"incomplete: {done}/{len(experiment.runs)} runs on disk; "
+              f"re-invoke to finish (report not written)")
+        return 0
+    problems = validate_experiment_report(report.to_json())
+    if problems:
+        # a structurally invalid report is a bug, not a result
+        for problem in problems:
+            print(f"error: invalid report: {problem}", file=sys.stderr)
+        return 2
+    summary = report.summary()
+    print(f"{summary['ok_runs']}/{summary['runs']} runs diagnosed "
+          f"correctly across {summary['points']} point(s) "
+          f"(mean accuracy {summary['mean_accuracy']:.2f}, "
+          f"{summary['errors']} errors, "
+          f"{summary['pending_faults']} pending faults)")
+    print(f"report: {out_dir / 'report.json'}")
+    # misdiagnosis under stress is the measurement; only errors fail
+    return 0 if report.error_free else 1
+
+
+def cmd_experiment_run(args) -> int:
+    try:
+        spec = EXPERIMENTS.get(args.experiment)
+        exprs = [expr for group in args.grid for expr in group]
+        grid = parse_grid(exprs) if exprs else None
+        experiment = Experiment(spec, grid=grid, reps=args.reps,
+                                base_seed=args.seed,
+                                extra_knobs=_parse_knobs(args.knob))
+    except (ExperimentError, SweepError, GridError, ScenarioError,
+            ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out_dir) if args.out_dir else (
+        Path("results") / "experiments" / spec.name)
+    points = len({run.point for run in experiment.runs})
+    print(f"experiment {spec.name}: {points} point(s) x "
+          f"{experiment.reps} rep(s) = {len(experiment.runs)} runs")
+    try:
+        report = experiment.execute(out_dir, workers=args.workers,
+                                    max_runs=args.max_runs,
+                                    on_run=_show_run)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _finish_experiment(experiment, report, out_dir)
+
+
+def cmd_experiment_nightly(args) -> int:
+    """Run every registered experiment at its declared run table.
+
+    The registry-driven pattern ``sweep nightly`` set: registering an
+    ``ExperimentSpec`` is all it takes to join the scheduled run; one
+    artifact directory (with its ``report.json``) lands per experiment
+    under ``--out-dir``.
+    """
+    names = EXPERIMENTS.names()
+    if args.only:
+        unknown = [n for n in args.only if n not in EXPERIMENTS]
+        if unknown:
+            print(f"error: no experiment registered for {unknown[0]!r}; "
+                  f"known: {', '.join(names)}", file=sys.stderr)
+            return 2
+        names = [n for n in names if n in set(args.only)]
+    failed: list[str] = []
+    for name in names:
+        spec = EXPERIMENTS.get(name)
+        experiment = Experiment(spec, base_seed=args.seed)
+        out_dir = Path(args.out_dir) / name
+        points = len({run.point for run in experiment.runs})
+        print(f"experiment {name}: {points} point(s) x "
+              f"{experiment.reps} rep(s) = {len(experiment.runs)} runs")
+        try:
+            report = experiment.execute(out_dir, workers=args.workers,
+                                        on_run=_show_run)
+        except ExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            failed.append(name)
+            continue
+        if _finish_experiment(experiment, report, out_dir) > 1:
+            failed.append(name)
+        elif report is not None and not report.error_free:
+            failed.append(name)
+    print(f"nightly: {len(names) - len(failed)}/{len(names)} "
+          f"experiments ok"
+          + (f" (failed: {', '.join(failed)})" if failed else ""))
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
 # legacy figure sweeps
 # ---------------------------------------------------------------------------
 
@@ -402,6 +523,52 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restrict to this sweep (repeatable; "
                           "default: all registered)")
 
+    pexp = sub.add_parser("experiment",
+                          help="seeded run tables: repeat a sweep's "
+                               "points and aggregate degradation curves")
+    exp_sub = pexp.add_subparsers(dest="experiment_command", required=True)
+    exp_sub.add_parser("list", help="list registered experiments")
+    per = exp_sub.add_parser("run", help="run one experiment into a "
+                                         "resumable artifact directory")
+    per.add_argument("experiment", help="experiment registry name (see "
+                                        "`experiment list`)")
+    per.add_argument("--grid", action="append", nargs="+", default=[],
+                     metavar="AXIS=V1,V2,...",
+                     help="override the run-table axes (one or more per "
+                          "flag, flag repeatable); default: the "
+                          "experiment's declared axes")
+    per.add_argument("--reps", type=int, default=None,
+                     help="repetitions per grid point (default: the "
+                          "experiment's declared reps)")
+    per.add_argument("--seed", type=int, default=DEFAULT_BASE_SEED,
+                     help="base seed for per-(point,rep) seeds")
+    per.add_argument("--out-dir", default=None,
+                     help="artifact directory (default: "
+                          "results/experiments/<name>)")
+    per.add_argument("--workers", type=int, default=1,
+                     help="parallel run workers (default: 1, inline)")
+    per.add_argument("--max-runs", type=int, default=None,
+                     help="execute at most N new runs this invocation "
+                          "(study resumes on re-invocation)")
+    per.add_argument("--knob", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="pin a scenario knob for every run "
+                          "(repeatable)")
+    pen = exp_sub.add_parser(
+        "nightly", help="run every registered experiment at its "
+                        "declared run table (one report per experiment)")
+    pen.add_argument("--out-dir", default="results/experiments",
+                     help="directory for the per-experiment artifact "
+                          "directories")
+    pen.add_argument("--workers", type=int, default=1,
+                     help="parallel run workers (default: 1, inline)")
+    pen.add_argument("--seed", type=int, default=DEFAULT_BASE_SEED,
+                     help="base seed for per-(point,rep) seeds")
+    pen.add_argument("--only", action="append", default=[],
+                     metavar="NAME",
+                     help="restrict to this experiment (repeatable; "
+                          "default: all registered)")
+
     pfaults = sub.add_parser("faults", help="composable fault injection: "
                                             "inspect the fault registry")
     faults_sub = pfaults.add_subparsers(dest="faults_command",
@@ -432,6 +599,12 @@ def main(argv=None) -> int:
         if args.sweep_command == "nightly":
             return cmd_sweep_nightly(args)
         return cmd_sweep_run(args)
+    if args.command == "experiment":
+        if args.experiment_command == "list":
+            return cmd_experiment_list(args)
+        if args.experiment_command == "nightly":
+            return cmd_experiment_nightly(args)
+        return cmd_experiment_run(args)
     if args.command == "faults":
         return cmd_faults_list(args)
     dispatch = {

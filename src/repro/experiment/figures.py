@@ -1,0 +1,211 @@
+"""Deterministic SVG degradation figures from experiment reports.
+
+``figure_svg`` renders one committed figure — per-point mean accuracy
+as a 2px line with markers, the min/max envelope across repetitions as
+a ~10 %-opacity wash, and an optional dashed vertical annotation at an
+analytic boundary (the ε bound, a coverage threshold).  Pure string
+assembly with fixed-precision coordinates: the same report always
+yields the same bytes, which is what lets the figures be checked into
+``results/figures/`` and re-verified by ``tools/plot_experiments.py
+--check``.
+
+Chart anatomy follows a single fixed style: recessive hairline
+gridlines, one baseline axis, a single series (so no legend — the
+title names the curve), values carried by axis ticks rather than
+per-point labels, and all text in ink tokens rather than the series
+color.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .registry import ExperimentError, FigureSpec
+
+# Light-surface palette (validated reference set).
+_SURFACE = "#fcfcfb"
+_INK = "#0b0b0b"
+_INK_SECONDARY = "#52514e"
+_INK_MUTED = "#898781"
+_GRID = "#e1e0d9"
+_BASELINE = "#c3c2b7"
+_SERIES = "#2a78d6"
+
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_LEFT = 56.0
+_MARGIN_RIGHT = 24.0
+_MARGIN_TOP = 64.0
+_MARGIN_BOTTOM = 56.0
+
+_FONT = 'font-family="system-ui, sans-serif"'
+
+
+def _fmt(value: float) -> str:
+    """Fixed two-decimal coordinate formatting (deterministic bytes)."""
+    return f"{value:.2f}"
+
+
+def _label(value: Any) -> str:
+    """Tick-label formatting: trim floats the way %g does."""
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _series_points(
+    doc: dict[str, Any], x_axis: str
+) -> list[tuple[float, float, float, float]]:
+    """``(x, mean, lo, hi)`` per grid point, sorted by x."""
+    series: list[tuple[float, float, float, float]] = []
+    for point in doc["points"]:
+        params = point["params"]
+        if x_axis not in params:
+            raise ExperimentError(
+                f"figure x_axis {x_axis!r} missing from point params "
+                f"{sorted(params)}"
+            )
+        accuracy = point["accuracy"]
+        series.append(
+            (
+                float(params[x_axis]),
+                float(accuracy["mean"]),
+                float(accuracy["min"]),
+                float(accuracy["max"]),
+            )
+        )
+    series.sort(key=lambda item: item[0])
+    return series
+
+
+def figure_svg(doc: dict[str, Any], fig: Optional[FigureSpec] = None) -> str:
+    """Render one experiment report as a deterministic SVG figure.
+
+    ``doc`` is a validated ``ExperimentReport`` JSON document.  When
+    ``fig`` is omitted, the registered spec's figure is looked up by
+    the report's experiment name.
+    """
+    if fig is None:
+        from .registry import EXPERIMENTS
+
+        fig = EXPERIMENTS.get(doc["experiment"]).figure
+        if fig is None:
+            raise ExperimentError(
+                f"experiment {doc['experiment']!r} declares no figure"
+            )
+    series = _series_points(doc, fig.x_axis)
+    if not series:
+        raise ExperimentError("report has no points to plot")
+
+    xs = [item[0] for item in series]
+    x_lo, x_hi = min(xs), max(xs)
+    if fig.vline is not None:
+        x_lo, x_hi = min(x_lo, fig.vline), max(x_hi, fig.vline)
+    span = (x_hi - x_lo) or 1.0
+    plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_lo) / span * plot_w
+
+    def sy(y: float) -> float:
+        # accuracy is a rate: the y scale is always [0, 1]
+        return _MARGIN_TOP + (1.0 - y) * plot_h
+
+    out: list[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'role="img" aria-label="{fig.title}">'
+    )
+    out.append(
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="{_SURFACE}"/>'
+    )
+    out.append(
+        f'<text x="{_fmt(_MARGIN_LEFT)}" y="24" {_FONT} font-size="15" '
+        f'font-weight="600" fill="{_INK}">{fig.title}</text>'
+    )
+    reps = doc["reps"]
+    out.append(
+        f'<text x="{_fmt(_MARGIN_LEFT)}" y="42" {_FONT} font-size="12" '
+        f'fill="{_INK_SECONDARY}">mean of {reps} seeded repetitions '
+        f"per point; band: min–max</text>"
+    )
+
+    # horizontal gridlines + y ticks at clean accuracy fractions
+    for tick in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = sy(tick)
+        out.append(
+            f'<line x1="{_fmt(_MARGIN_LEFT)}" y1="{_fmt(y)}" '
+            f'x2="{_fmt(_WIDTH - _MARGIN_RIGHT)}" y2="{_fmt(y)}" '
+            f'stroke="{_GRID}" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{_fmt(_MARGIN_LEFT - 8)}" y="{_fmt(y + 3.5)}" '
+            f'{_FONT} font-size="11" text-anchor="end" '
+            f'fill="{_INK_MUTED}">{_label(tick)}</text>'
+        )
+
+    # baseline + x ticks at the data's own grid values
+    base_y = sy(0.0)
+    out.append(
+        f'<line x1="{_fmt(_MARGIN_LEFT)}" y1="{_fmt(base_y)}" '
+        f'x2="{_fmt(_WIDTH - _MARGIN_RIGHT)}" y2="{_fmt(base_y)}" '
+        f'stroke="{_BASELINE}" stroke-width="1"/>'
+    )
+    for x in xs:
+        out.append(
+            f'<text x="{_fmt(sx(x))}" y="{_fmt(base_y + 18)}" {_FONT} '
+            f'font-size="11" text-anchor="middle" '
+            f'fill="{_INK_MUTED}">{_label(x)}</text>'
+        )
+    out.append(
+        f'<text x="{_fmt(_MARGIN_LEFT + plot_w / 2)}" '
+        f'y="{_fmt(base_y + 38)}" {_FONT} font-size="12" '
+        f'text-anchor="middle" fill="{_INK_SECONDARY}">'
+        f"{fig.x_label}</text>"
+    )
+
+    # min–max envelope: the series hue as a wash, never a solid block
+    band = " ".join(
+        f"{_fmt(sx(x))},{_fmt(sy(hi))}" for x, _, _, hi in series
+    )
+    band += " " + " ".join(
+        f"{_fmt(sx(x))},{_fmt(sy(lo))}" for x, _, lo, _ in reversed(series)
+    )
+    out.append(
+        f'<polygon points="{band}" fill="{_SERIES}" fill-opacity="0.1"/>'
+    )
+
+    # analytic boundary annotation (dashed: an annotation, not a gridline)
+    if fig.vline is not None:
+        vx = sx(fig.vline)
+        out.append(
+            f'<line x1="{_fmt(vx)}" y1="{_fmt(_MARGIN_TOP)}" '
+            f'x2="{_fmt(vx)}" y2="{_fmt(base_y)}" '
+            f'stroke="{_INK_MUTED}" stroke-width="1" '
+            f'stroke-dasharray="4 3"/>'
+        )
+        if fig.vline_label:
+            out.append(
+                f'<text x="{_fmt(vx + 6)}" y="{_fmt(_MARGIN_TOP + 14)}" '
+                f'{_FONT} font-size="11" fill="{_INK_SECONDARY}">'
+                f"{fig.vline_label}</text>"
+            )
+
+    # mean accuracy: 2px line, round joins, markers with a surface ring
+    path = " ".join(
+        f"{_fmt(sx(x))},{_fmt(sy(mean))}" for x, mean, _, _ in series
+    )
+    out.append(
+        f'<polyline points="{path}" fill="none" stroke="{_SERIES}" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+    )
+    for x, mean, _, _ in series:
+        out.append(
+            f'<circle cx="{_fmt(sx(x))}" cy="{_fmt(sy(mean))}" r="4" '
+            f'fill="{_SERIES}" stroke="{_SURFACE}" stroke-width="2"/>'
+        )
+
+    out.append("</svg>")
+    return "\n".join(out) + "\n"

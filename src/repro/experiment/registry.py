@@ -1,0 +1,209 @@
+"""Experiment registry: which sweeps become *studies*, at what table.
+
+A sweep is one pass over one grid with one seed; an *experiment* is a
+run table — scenario × axes × N repetitions with a distinct seed per
+``(point, rep)`` cell — aggregated across repeats into degradation
+curves (the run-table methodology of simulation evaluation practice:
+independent replications per configuration).  An
+:class:`ExperimentSpec` is declared in :mod:`repro.experiment.studies`
+with the same registration idiom as scenarios/sweeps/faults:
+
+    register_experiment(ExperimentSpec(
+        name="skew-degradation",
+        sweep="clock-skew",
+        summary="accuracy falling off as skew crosses the ε bound",
+        axes={"skew_ms": (0.0, 2.0, 5.0, 8.0, 12.0)},
+        reps=5,
+        figure=FigureSpec(x_axis="skew_ms", ...),
+    ))
+
+Axes name *sweep* axes (which in turn bind scenario knobs), so the
+experiment layer adds no new vocabulary: every cell of the run table
+executes through the existing sweep machinery and reproduces as a
+single run (``cli run <scenario> --seed <run seed> --knob ...``).
+The CLI ``experiment`` command, the nightly driver, and the generated
+``docs/EXPERIMENTS.md`` catalogue all render these specs — one source
+of truth, like the sibling registries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+class ExperimentError(Exception):
+    """Raised for registry misuse or invalid experiment parameters."""
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """How one experiment's degradation curve is rendered.
+
+    ``tools/plot_experiments.py`` turns a committed
+    ``ExperimentReport`` into a deterministic SVG figure from this
+    metadata; ``x_axis`` must be one of the experiment's run-table
+    axes.  ``vline`` marks an analytic boundary on the x axis (the
+    ε-asynchrony bound, a coverage threshold) so the rendered curve
+    shows *where* the paper's assumption stops holding.
+    """
+
+    x_axis: str
+    x_label: str
+    title: str
+    vline: Optional[float] = None
+    vline_label: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry metadata for one experiment (a seeded run table).
+
+    Attributes
+    ----------
+    name:
+        The experiment's own registry key.  Defaults to ``sweep``.
+    sweep:
+        Sweep-registry name whose scenario/axes/expectation every run
+        executes through.
+    summary:
+        One-line description (CLI ``experiment list``, docs catalogue).
+    axes:
+        Axis → value tuple: the run-table grid.  Axis names must be
+        declared by the underlying sweep; the cartesian product of the
+        values is the experiment's point set.
+    reps:
+        Independent repetitions per grid point, each with its own
+        derived seed (>= 1; degradation studies want >= 3 so a point
+        carries statistical weight, not one coin flip).
+    base_knobs:
+        Fixed knob overrides applied to every run *after* the sweep's
+        own ``base_knobs`` — e.g. unpinning ``deploy_spare`` so the
+        fault switch is strippable and accuracy genuinely degrades.
+    figure:
+        Degradation-figure metadata (:class:`FigureSpec`), or ``None``
+        for experiments that only produce tables.
+    """
+
+    sweep: str
+    summary: str
+    axes: dict[str, tuple[Any, ...]]
+    reps: int = 5
+    base_knobs: dict[str, Any] = field(default_factory=dict)
+    figure: Optional[FigureSpec] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.name is None:
+            # frozen dataclass: assign through object.__setattr__
+            object.__setattr__(self, "name", self.sweep)
+
+    @property
+    def cli_example(self) -> str:
+        return f"python -m repro.cli experiment run {self.name}"
+
+
+def _load_declarations() -> None:
+    """Import the studies module, which registers every experiment.
+
+    Deferred to first lookup — never module scope — so importing this
+    module alone (tools, tests) does not force the scenario packages
+    the sweep registry pulls in behind every registration.
+    """
+    from . import studies  # noqa: F401
+
+
+class ExperimentRegistry:
+    """Experiment name → experiment-spec registry."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        if spec.name in self._specs:
+            raise ExperimentError(f"duplicate experiment name {spec.name!r}")
+        if not spec.axes:
+            raise ExperimentError(
+                f"experiment {spec.name!r} needs at least one run-table axis"
+            )
+        for axis, values in spec.axes.items():
+            if not values:
+                raise ExperimentError(
+                    f"experiment {spec.name!r}: axis {axis!r} has no values"
+                )
+        if spec.reps < 1:
+            raise ExperimentError(
+                f"experiment {spec.name!r}: reps must be >= 1, got {spec.reps}"
+            )
+        self._validate_against_sweep(spec)
+        self._specs[spec.name] = spec
+        return spec
+
+    @staticmethod
+    def _validate_against_sweep(spec: ExperimentSpec) -> None:
+        """Every table axis (and the figure's x axis) must exist on the
+        underlying sweep, and ``base_knobs`` must not silently override
+        a swept axis — the same fail-before-any-run-burns-time posture
+        as the sweep registry."""
+        # call-time import: pulling the sweep registry loads the
+        # scenario packages, which this module must not force at import
+        from ..sweep import SWEEPS, SweepError
+
+        try:
+            sweep = SWEEPS.get(spec.sweep)
+        except SweepError as exc:
+            raise ExperimentError(
+                f"experiment {spec.name!r}: {exc}"
+            ) from None
+        for axis in spec.axes:
+            if axis not in sweep.axes:
+                raise ExperimentError(
+                    f"experiment {spec.name!r}: axis {axis!r} is not an "
+                    f"axis of sweep {spec.sweep!r}; valid: "
+                    f"{', '.join(sorted(sweep.axes))}"
+                )
+        swept = {sweep.axes[axis] for axis in spec.axes}
+        clash = swept & set(spec.base_knobs)
+        if clash:
+            raise ExperimentError(
+                f"experiment {spec.name!r}: base_knobs would override "
+                f"swept axis knob(s) {sorted(clash)}"
+            )
+        if spec.figure is not None and spec.figure.x_axis not in spec.axes:
+            raise ExperimentError(
+                f"experiment {spec.name!r}: figure x_axis "
+                f"{spec.figure.x_axis!r} is not a run-table axis"
+            )
+
+    def get(self, name: str) -> ExperimentSpec:
+        _load_declarations()
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ExperimentError(
+                f"no experiment registered for {name!r}; "
+                f"known: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> list[str]:
+        _load_declarations()
+        return sorted(self._specs)
+
+    def specs(self) -> list[ExperimentSpec]:
+        return [self._specs[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        _load_declarations()
+        return name in self._specs
+
+    def __len__(self) -> int:
+        _load_declarations()
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+#: The process-wide registry ``studies.py`` registers experiments into.
+EXPERIMENTS = ExperimentRegistry()
+register_experiment = EXPERIMENTS.register

@@ -1,0 +1,383 @@
+"""Machine-readable study results: :class:`ExperimentReport` + schema.
+
+One experiment produces one *artifact directory* (see
+:mod:`repro.experiment.runner`): a manifest, one JSON document per
+``(point, rep)`` run, and a final ``report.json`` aggregating the runs
+into per-point curves.  This module owns the report side: the
+deterministic per-run record, the per-point aggregate (mean/min/max
+accuracy and timing across repetitions), and the hand-rolled structural
+validator (no third-party schema dependency, same idiom as
+``repro.sweep.report``).
+
+**Determinism contract.**  Everything in the report derives from the
+run seeds alone — diagnosis outcomes, simulated time, record counts —
+and nothing derives from the host (wall-clock timings stay in the
+per-run artifact files, which keep the full
+:class:`~repro.sweep.report.PointResult` payload).  That is what makes
+the resumability guarantee byte-exact: a study interrupted after K of N
+runs and re-invoked produces the same ``report.json``, byte for byte,
+as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+SCHEMA = "switchpointer.experiment-report/v1"
+RUN_SCHEMA = "switchpointer.experiment-run/v1"
+MANIFEST_SCHEMA = "switchpointer.experiment-manifest/v1"
+
+#: required per-run fields → allowed JSON types
+_RUN_FIELDS: dict[str, tuple[type, ...]] = {
+    "point": (int,),
+    "rep": (int,),
+    "params": (dict,),
+    "seed": (int,),
+    "ok": (bool,),
+    "diagnosis_ok": (bool,),
+    "problems": (list,),
+    "suspects": (list,),
+    "sim_time_s": (int, float),
+    "flow_count": (int,),
+    "peak_records": (int,),
+    "pending_faults": (int,),
+    "error": (str, type(None)),
+}
+
+#: required per-point aggregate fields → allowed JSON types
+_POINT_FIELDS: dict[str, tuple[type, ...]] = {
+    "point": (int,),
+    "params": (dict,),
+    "knobs": (dict,),
+    "reps": (int,),
+    "accuracy": (dict,),
+    "sim_time_s": (dict,),
+    "errors": (int,),
+    "pending_faults": (int,),
+    "peak_records": (int,),
+}
+
+_TOP_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema": (str,),
+    "experiment": (str,),
+    "sweep": (str,),
+    "scenario": (str,),
+    "expect_problem": (str,),
+    "base_seed": (int,),
+    "reps": (int,),
+    "grid": (dict,),
+    "runs": (list,),
+    "points": (list,),
+    "summary": (dict,),
+}
+
+#: the mean/min/max triple every aggregate statistic carries
+_STAT_KEYS = ("mean", "min", "max")
+
+
+def _count_pending(result: dict[str, Any]) -> int:
+    """Pending faults in one run's recorded fault plan.
+
+    A fault scheduled past the run window surfaces as ``[pending]`` in
+    the scenario's ``fault_plan`` measurement (one describe() line per
+    composed fault); counting it here is what keeps such faults from
+    silently vanishing out of a study's aggregates.
+    """
+    lines = result.get("measurements", {}).get("fault_plan", [])
+    return sum(1 for line in lines if str(line).endswith("[pending]"))
+
+
+@dataclass
+class RunRecord:
+    """The deterministic (seed-derived) subset of one run's outcome."""
+
+    point: int
+    rep: int
+    params: dict[str, Any]
+    seed: int
+    diagnosis_ok: bool = False
+    problems: list[str] = field(default_factory=list)
+    suspects: list[str] = field(default_factory=list)
+    sim_time_s: float = 0.0
+    flow_count: int = 0
+    peak_records: int = 0
+    pending_faults: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.diagnosis_ok
+
+    @classmethod
+    def from_artifact(cls, doc: dict[str, Any]) -> "RunRecord":
+        """Extract the record from one persisted run document.
+
+        The artifact keeps the full ``PointResult`` payload (wall-clock
+        timings included); only the seed-determined fields cross into
+        the report.
+        """
+        result = doc["result"]
+        return cls(
+            point=doc["point"],
+            rep=doc["rep"],
+            params=dict(doc["params"]),
+            seed=doc["seed"],
+            diagnosis_ok=result["diagnosis_ok"],
+            problems=list(result["problems"]),
+            suspects=list(result["suspects"]),
+            sim_time_s=result["sim_time_s"],
+            flow_count=result["flow_count"],
+            peak_records=result["peak_records"],
+            pending_faults=_count_pending(result),
+            error=result["error"],
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "point": self.point,
+            "rep": self.rep,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "ok": self.ok,
+            "diagnosis_ok": self.diagnosis_ok,
+            "problems": list(self.problems),
+            "suspects": list(self.suspects),
+            "sim_time_s": round(self.sim_time_s, 9),
+            "flow_count": self.flow_count,
+            "peak_records": self.peak_records,
+            "pending_faults": self.pending_faults,
+            "error": self.error,
+        }
+
+
+def _stats(values: list[float], digits: int) -> dict[str, float]:
+    return {
+        "mean": round(sum(values) / len(values), digits),
+        "min": round(min(values), digits),
+        "max": round(max(values), digits),
+    }
+
+
+@dataclass
+class PointAggregate:
+    """One grid point's statistics across its repetitions."""
+
+    point: int
+    params: dict[str, Any]
+    knobs: dict[str, Any]
+    reps: int
+    accuracy: dict[str, float]
+    sim_time_s: dict[str, float]
+    errors: int
+    pending_faults: int
+    peak_records: int
+
+    @classmethod
+    def from_runs(
+        cls, runs: list[RunRecord], knobs: dict[str, Any]
+    ) -> "PointAggregate":
+        return cls(
+            point=runs[0].point,
+            params=dict(runs[0].params),
+            knobs=dict(knobs),
+            reps=len(runs),
+            accuracy=_stats([1.0 if r.ok else 0.0 for r in runs], 6),
+            sim_time_s=_stats([r.sim_time_s for r in runs], 9),
+            errors=sum(1 for r in runs if r.error is not None),
+            pending_faults=sum(r.pending_faults for r in runs),
+            peak_records=max(r.peak_records for r in runs),
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "point": self.point,
+            "params": dict(self.params),
+            "knobs": dict(self.knobs),
+            "reps": self.reps,
+            "accuracy": dict(self.accuracy),
+            "sim_time_s": dict(self.sim_time_s),
+            "errors": self.errors,
+            "pending_faults": self.pending_faults,
+            "peak_records": self.peak_records,
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one study produced, JSON-serializable."""
+
+    experiment: str
+    sweep: str
+    scenario: str
+    expect_problem: str
+    base_seed: int
+    reps: int
+    grid: dict[str, list[Any]]
+    runs: list[RunRecord] = field(default_factory=list)
+    points: list[PointAggregate] = field(default_factory=list)
+
+    def summary(self) -> dict[str, Any]:
+        oks = sum(1 for r in self.runs if r.ok)
+        return {
+            "runs": len(self.runs),
+            "ok_runs": oks,
+            "errors": sum(1 for r in self.runs if r.error is not None),
+            "pending_faults": sum(r.pending_faults for r in self.runs),
+            "points": len(self.points),
+            "mean_accuracy": (
+                round(oks / len(self.runs), 6) if self.runs else 0.0
+            ),
+        }
+
+    @property
+    def error_free(self) -> bool:
+        """No run raised.  *Not* "every run diagnosed correctly" — a
+        degradation study's stressed points are expected to misdiagnose;
+        only exceptions make a study invalid."""
+        return all(r.error is None for r in self.runs)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "experiment": self.experiment,
+            "sweep": self.sweep,
+            "scenario": self.scenario,
+            "expect_problem": self.expect_problem,
+            "base_seed": self.base_seed,
+            "reps": self.reps,
+            "grid": {axis: list(vals) for axis, vals in self.grid.items()},
+            "runs": [r.to_json() for r in self.runs],
+            "points": [p.to_json() for p in self.points],
+            "summary": self.summary(),
+        }
+
+
+def aggregate_runs(
+    *,
+    experiment: str,
+    sweep: str,
+    scenario: str,
+    expect_problem: str,
+    base_seed: int,
+    reps: int,
+    grid: dict[str, list[Any]],
+    artifacts: list[dict[str, Any]],
+) -> ExperimentReport:
+    """Fold the persisted run documents into one report.
+
+    Order-independent: records sort by ``(point, rep)``, so the report
+    is identical however the runs completed (workers, resume order).
+    """
+    records = sorted(
+        (RunRecord.from_artifact(doc) for doc in artifacts),
+        key=lambda r: (r.point, r.rep),
+    )
+    by_point: dict[int, list[RunRecord]] = {}
+    for record in records:
+        by_point.setdefault(record.point, []).append(record)
+    knobs_by_point = {
+        doc["point"]: doc["result"]["knobs"] for doc in artifacts
+    }
+    points = [
+        PointAggregate.from_runs(by_point[point], knobs_by_point[point])
+        for point in sorted(by_point)
+    ]
+    return ExperimentReport(
+        experiment=experiment,
+        sweep=sweep,
+        scenario=scenario,
+        expect_problem=expect_problem,
+        base_seed=base_seed,
+        reps=reps,
+        grid=grid,
+        runs=records,
+        points=points,
+    )
+
+
+def _type_name(types: tuple[type, ...]) -> str:
+    return "/".join("null" if t is type(None) else t.__name__ for t in types)
+
+
+def _bad_type(value: Any, types: tuple[type, ...]) -> bool:
+    # bool is an int subclass in Python but not in the JSON-schema sense
+    if isinstance(value, bool) and bool not in types:
+        return True
+    return not isinstance(value, types)
+
+
+def _check_stats(owner: str, name: str, value: Any) -> list[str]:
+    if not isinstance(value, dict):
+        return [f"{owner}.{name} must be a mean/min/max object"]
+    errors = []
+    for key in _STAT_KEYS:
+        if key not in value:
+            errors.append(f"{owner}.{name} missing {key!r}")
+        elif _bad_type(value[key], (int, float)):
+            errors.append(f"{owner}.{name}.{key} must be int/float")
+    for key in value:
+        if key not in _STAT_KEYS:
+            errors.append(f"{owner}.{name} has unknown stat {key!r}")
+    return errors
+
+
+def validate_experiment_report(doc: Any) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = valid)."""
+    if not isinstance(doc, dict):
+        return [f"report must be an object, got {type(doc).__name__}"]
+    errors = []
+    for name, types in _TOP_FIELDS.items():
+        if name not in doc:
+            errors.append(f"missing field {name!r}")
+        elif _bad_type(doc[name], types):
+            errors.append(f"field {name!r} must be {_type_name(types)}")
+    for name in doc:
+        # a typo in a hand-edited report must not pass silently
+        if name not in _TOP_FIELDS:
+            errors.append(
+                f"unknown top-level field {name!r} "
+                f"(allowed: {', '.join(sorted(_TOP_FIELDS))})"
+            )
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA:
+        return [f"unknown schema {doc['schema']!r} (expected {SCHEMA!r})"]
+    for axis, values in doc["grid"].items():
+        if not isinstance(values, list) or not values:
+            errors.append(f"grid axis {axis!r} must be a non-empty list")
+    for i, run in enumerate(doc["runs"]):
+        if not isinstance(run, dict):
+            errors.append(f"runs[{i}] must be an object")
+            continue
+        for name, types in _RUN_FIELDS.items():
+            if name not in run:
+                errors.append(f"runs[{i}] missing field {name!r}")
+            elif _bad_type(run[name], types):
+                errors.append(f"runs[{i}].{name} must be {_type_name(types)}")
+    for i, point in enumerate(doc["points"]):
+        if not isinstance(point, dict):
+            errors.append(f"points[{i}] must be an object")
+            continue
+        for name, types in _POINT_FIELDS.items():
+            if name not in point:
+                errors.append(f"points[{i}] missing field {name!r}")
+            elif _bad_type(point[name], types):
+                errors.append(
+                    f"points[{i}].{name} must be {_type_name(types)}"
+                )
+        for stat in ("accuracy", "sim_time_s"):
+            if isinstance(point.get(stat), dict):
+                errors.extend(_check_stats(f"points[{i}]", stat, point[stat]))
+    summary = doc["summary"]
+    if isinstance(summary.get("runs"), int):
+        if summary["runs"] != len(doc["runs"]):
+            errors.append("summary.runs disagrees with len(runs)")
+    else:
+        errors.append("summary.runs must be int")
+    if isinstance(summary.get("points"), int):
+        if summary["points"] != len(doc["points"]):
+            errors.append("summary.points disagrees with len(points)")
+    else:
+        errors.append("summary.points must be int")
+    return errors

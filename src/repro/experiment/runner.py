@@ -1,0 +1,294 @@
+"""The experiment runner: a seeded run table, resumable on disk.
+
+:class:`Experiment` expands an :class:`~repro.experiment.registry.
+ExperimentSpec` into its run table (``table.py``), executes every
+``(point, rep)`` cell through the existing sweep machinery
+(:func:`repro.sweep.execute_point` — same payload, same replay
+contract), and persists one artifact directory per study:
+
+    <dir>/manifest.json            # table identity (refuses mismatches)
+    <dir>/runs/point000_rep00.json # one document per completed run
+    <dir>/report.json              # aggregated ExperimentReport
+
+Runs land on disk as they finish (written to a temp name, then
+``os.replace``\\ d, so a kill mid-write leaves no half document).  On
+re-invocation every intact run document whose seed matches the table is
+reused untouched and only the missing cells execute — an interrupted
+study resumes, and because the report aggregates only seed-determined
+fields, the resumed ``report.json`` is byte-identical to an
+uninterrupted one.
+
+``max_runs`` bounds how many *new* runs one invocation executes (the
+interruption hook the resumability tests drive); a study with cells
+still missing gets no report until a later invocation completes it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from ..sweep import DEFAULT_BASE_SEED, PointResult, SweepSpec, execute_point
+from .registry import ExperimentError, ExperimentSpec
+from .report import (
+    ExperimentReport,
+    MANIFEST_SCHEMA,
+    RUN_SCHEMA,
+    aggregate_runs,
+)
+from .table import Run, expand_run_table
+
+#: ``on_run`` progress events.
+RESUMED = "resumed"
+EXECUTED = "executed"
+
+
+def _dump(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _write_atomic(path: Path, doc: dict[str, Any]) -> None:
+    """Write-then-rename so an interrupted write never leaves a document
+    the resume scan would mistake for a completed run."""
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(_dump(doc), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class Experiment:
+    """One registered study: a sweep × a run table × derived seeds."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        *,
+        grid: Optional[dict[str, list[Any]]] = None,
+        reps: Optional[int] = None,
+        base_seed: int = DEFAULT_BASE_SEED,
+        extra_knobs: Optional[dict[str, Any]] = None,
+    ):
+        from ..sweep import SWEEPS
+
+        self.spec = spec
+        self.sweep: SweepSpec = SWEEPS.get(spec.sweep)
+        self.grid = (
+            {axis: list(vals) for axis, vals in spec.axes.items()}
+            if grid is None
+            else grid
+        )
+        for axis in self.grid:
+            if axis not in self.sweep.axes:
+                raise ExperimentError(
+                    f"unknown axis {axis!r} for experiment "
+                    f"{spec.name!r} (sweep {spec.sweep!r}); valid: "
+                    f"{', '.join(sorted(self.sweep.axes))}"
+                )
+        self.reps = spec.reps if reps is None else reps
+        if self.reps < 1:
+            raise ExperimentError(f"reps must be >= 1, got {self.reps}")
+        self.base_seed = base_seed
+        self.extra_knobs = dict(extra_knobs or {})
+        swept = {self.sweep.axes[axis] for axis in self.grid}
+        clash = swept & set(self.extra_knobs)
+        if clash:
+            raise ExperimentError(
+                f"--knob would silently override swept axis knob(s) "
+                f"{sorted(clash)}; drop the knob or the axis"
+            )
+        self.runs: list[Run] = expand_run_table(
+            self.grid, self.reps, base_seed
+        )
+        # resolve every cell's knobs up front: an invalid table fails
+        # before any run burns wall time (sweep-runner posture)
+        self.knobs: dict[int, dict[str, Any]] = {}
+        for run in self.runs:
+            if run.point in self.knobs:
+                continue
+            knobs = self.sweep.knobs_for(run.params)
+            knobs.update(self.spec.base_knobs)
+            knobs.update(self.extra_knobs)
+            self.knobs[run.point] = knobs
+
+    # -- artifact layout ----------------------------------------------------
+
+    @staticmethod
+    def run_filename(run: Run) -> str:
+        return f"point{run.point:03d}_rep{run.rep:02d}.json"
+
+    def manifest(self) -> dict[str, Any]:
+        """The table identity a resumed invocation must reproduce."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "experiment": self.spec.name,
+            "sweep": self.sweep.name,
+            "scenario": self.sweep.scenario,
+            "base_seed": self.base_seed,
+            "reps": self.reps,
+            "grid": {axis: list(vals) for axis, vals in self.grid.items()},
+            "runs": len(self.runs),
+        }
+
+    def _check_manifest(self, out_dir: Path) -> None:
+        path = out_dir / "manifest.json"
+        manifest = self.manifest()
+        if path.exists():
+            existing = json.loads(path.read_text(encoding="utf-8"))
+            if existing != manifest:
+                raise ExperimentError(
+                    f"{path} belongs to a different run table (seed, "
+                    f"grid, or reps changed) — point --out-dir at a "
+                    f"fresh directory or restore the original "
+                    f"parameters"
+                )
+        else:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            _write_atomic(path, manifest)
+
+    def _load_completed(self, runs_dir: Path) -> dict[int, dict[str, Any]]:
+        """Intact artifacts by run index; mismatches fail loudly."""
+        completed: dict[int, dict[str, Any]] = {}
+        for run in self.runs:
+            path = runs_dir / self.run_filename(run)
+            if not path.exists():
+                continue
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                # a run killed mid-write before atomic rename existed,
+                # or a truncated copy: treat as not-yet-run
+                continue
+            if (
+                doc.get("schema") != RUN_SCHEMA
+                or doc.get("seed") != run.seed
+                or doc.get("params") != run.params
+            ):
+                raise ExperimentError(
+                    f"{path} does not match this run table (expected "
+                    f"seed {run.seed}, params {run.params}) — stale "
+                    f"artifact from another study?"
+                )
+            completed[run.index] = doc
+        return completed
+
+    def _artifact(self, run: Run, result: PointResult) -> dict[str, Any]:
+        return {
+            "schema": RUN_SCHEMA,
+            "experiment": self.spec.name,
+            "point": run.point,
+            "rep": run.rep,
+            "params": dict(run.params),
+            "seed": run.seed,
+            "result": result.to_json(),
+        }
+
+    def _payload(self, run: Run) -> tuple:
+        return (
+            self.sweep.scenario,
+            self.knobs[run.point],
+            run.seed,
+            self.sweep.expect_problem,
+            self._expect_suspect(self.knobs[run.point]),
+            run.index,
+            run.params,
+        )
+
+    def _expect_suspect(self, knobs: dict[str, Any]) -> Optional[str]:
+        knob = self.sweep.expect_suspect_knob
+        if knob is None:
+            return None
+        if knob in knobs:
+            return knobs[knob]
+        from ..scenarios import REGISTRY
+
+        return REGISTRY.get(self.sweep.scenario).spec.knobs[knob].default
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(
+        self,
+        out_dir: Path,
+        *,
+        workers: int = 1,
+        max_runs: Optional[int] = None,
+        on_run: Optional[Callable[[Run, str], None]] = None,
+    ) -> Optional[ExperimentReport]:
+        """Run every missing cell; aggregate once the table is complete.
+
+        Returns the :class:`ExperimentReport` (also written to
+        ``report.json``) when all runs exist, or ``None`` when
+        ``max_runs`` stopped the invocation with cells still missing.
+        ``on_run`` observes each cell with :data:`RESUMED` or
+        :data:`EXECUTED` as it is accounted for.
+        """
+        if workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        out_dir = Path(out_dir)
+        self._check_manifest(out_dir)
+        runs_dir = out_dir / "runs"
+        runs_dir.mkdir(exist_ok=True)
+        completed = self._load_completed(runs_dir)
+        for run in self.runs:
+            if run.index in completed and on_run is not None:
+                on_run(run, RESUMED)
+        todo = [run for run in self.runs if run.index not in completed]
+        if max_runs is not None:
+            todo = todo[:max_runs]
+
+        def record(run: Run, result: PointResult) -> None:
+            doc = self._artifact(run, result)
+            _write_atomic(runs_dir / self.run_filename(run), doc)
+            completed[run.index] = doc
+            if on_run is not None:
+                on_run(run, EXECUTED)
+
+        if workers == 1 or len(todo) <= 1:
+            for run in todo:
+                record(run, execute_point(self._payload(run)))
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(todo)), mp_context=ctx
+            ) as pool:
+                futures = {
+                    pool.submit(execute_point, self._payload(run)): run
+                    for run in todo
+                }
+                for future in as_completed(futures):
+                    run = futures[future]
+                    try:
+                        result = future.result()
+                    except Exception as exc:  # noqa: BLE001 - a dead
+                        # worker's cell becomes an errored run, exactly
+                        # like a point that raised in-process
+                        result = PointResult(
+                            index=run.index,
+                            params=run.params,
+                            knobs=self.knobs[run.point],
+                            seed=run.seed,
+                            error=(
+                                f"worker died: {type(exc).__name__}: {exc}"
+                            ),
+                        )
+                    record(run, result)
+
+        if len(completed) < len(self.runs):
+            return None
+        report = aggregate_runs(
+            experiment=self.spec.name,
+            sweep=self.sweep.name,
+            scenario=self.sweep.scenario,
+            expect_problem=self.sweep.expect_problem,
+            base_seed=self.base_seed,
+            reps=self.reps,
+            grid=self.grid,
+            artifacts=[completed[run.index] for run in self.runs],
+        )
+        _write_atomic(out_dir / "report.json", report.to_json())
+        return report

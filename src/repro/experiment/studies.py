@@ -1,0 +1,66 @@
+"""The registered degradation studies.
+
+Importing this module registers every experiment — the registration
+idiom shared with scenarios/sweeps/faults.  The first two studies are
+the curves the fault axes already expose (the paper's core robustness
+claims):
+
+* **skew-degradation** — diagnosis accuracy as clock skew crosses the
+  ε-asynchrony bound.  Timestamp reconciliation tolerates pairwise skew
+  up to ε = α (the epoch length, 10 ms at default knobs): victim skew
+  of 5 ms puts pairwise divergence exactly at the bound, and past it
+  ordering breaks down and accuracy falls off a cliff.
+* **deploy-degradation** — accuracy as partial deployment thins
+  switch coverage.  The underlying sweep pins a spare (`deploy_spare`)
+  so its nightly grid stays green; the *study* unpins it (the point is
+  to chart degradation, not avoid it), so stripping switches genuinely
+  removes telemetry and accuracy decays with coverage, seed by seed.
+"""
+
+from __future__ import annotations
+
+from .registry import ExperimentSpec, FigureSpec, register_experiment
+
+register_experiment(
+    ExperimentSpec(
+        name="skew-degradation",
+        sweep="clock-skew",
+        summary=(
+            "diagnosis accuracy falling off as victim clock skew "
+            "crosses the ε-asynchrony bound"
+        ),
+        # the axis stops at α (10 ms): skew beyond one full epoch
+        # breaks epoch arithmetic outright rather than degrading
+        axes={"skew_ms": (0.0, 2.0, 5.0, 8.0, 10.0)},
+        reps=5,
+        figure=FigureSpec(
+            x_axis="skew_ms",
+            x_label="injected victim clock skew (ms)",
+            title="Diagnosis accuracy vs clock skew",
+            vline=5.0,
+            vline_label="ε bound (pairwise skew = α)",
+        ),
+    )
+)
+
+register_experiment(
+    ExperimentSpec(
+        name="deploy-degradation",
+        sweep="partial-deployment",
+        summary=(
+            "diagnosis accuracy decaying as partial deployment strips "
+            "switch telemetry below spare coverage"
+        ),
+        axes={"deploy": (1.0, 0.9, 0.75, 0.5, 0.25)},
+        reps=5,
+        # the sweep pins deploy_spare="S3" so its own nightly grid
+        # never strips the fault switch; the study unpins it — the
+        # curve exists only when coverage genuinely thins
+        base_knobs={"deploy_spare": ""},
+        figure=FigureSpec(
+            x_axis="deploy",
+            x_label="fraction of switches running telemetry",
+            title="Diagnosis accuracy vs deployment fraction",
+        ),
+    )
+)

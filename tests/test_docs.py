@@ -5,6 +5,7 @@ import subprocess
 import sys
 from pathlib import Path
 
+from repro.experiment import EXPERIMENTS, experiments_markdown
 from repro.faults import FAULTS, faults_markdown
 from repro.scenarios import REGISTRY, catalog_markdown
 from repro.sweep import SWEEPS, sweeps_markdown
@@ -115,6 +116,65 @@ class TestSweepCatalog:
     def test_readme_links_sweeps_doc(self):
         readme = (REPO / "README.md").read_text(encoding="utf-8")
         assert "docs/SWEEPS.md" in readme
+
+
+class TestExperimentCatalog:
+    def test_experiments_md_matches_registry(self):
+        """docs/EXPERIMENTS.md must be regenerated when the experiment
+        registry changes (python tools/gen_experiment_docs.py)."""
+        page = (REPO / "docs" / "EXPERIMENTS.md").read_text(
+            encoding="utf-8")
+        assert page == experiments_markdown()
+
+    def test_every_experiment_documented(self):
+        page = (REPO / "docs" / "EXPERIMENTS.md").read_text(
+            encoding="utf-8")
+        for spec in EXPERIMENTS.specs():
+            assert f"## `{spec.name}`" in page
+            assert spec.summary in page
+            for axis in spec.axes:
+                assert f"`{axis}`" in page
+
+    def test_page_documents_the_run_table_contract(self):
+        page = (REPO / "docs" / "EXPERIMENTS.md").read_text(
+            encoding="utf-8")
+        assert "experiment nightly" in page
+        assert "byte-identical" in page
+        assert "manifest.json" in page
+        assert "pending" in page
+        assert "switchpointer.experiment-report/v1" in page
+
+    def test_generator_check_mode_passes(self):
+        proc = subprocess.run(
+            [sys.executable,
+             str(REPO / "tools" / "gen_experiment_docs.py"), "--check"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_committed_figures_match_committed_reports(self):
+        """results/figures/*.svg must be regenerated when a committed
+        report changes (python tools/plot_experiments.py)."""
+        proc = subprocess.run(
+            [sys.executable,
+             str(REPO / "tools" / "plot_experiments.py"), "--check"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_every_figure_spec_has_a_committed_figure(self):
+        for spec in EXPERIMENTS.specs():
+            if spec.figure is None:
+                continue
+            path = REPO / "results" / "figures" / f"{spec.name}.svg"
+            assert path.exists(), path
+            svg = path.read_text(encoding="utf-8")
+            assert spec.figure.title in svg
+
+    def test_linked_from_readme_and_architecture(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/EXPERIMENTS.md" in readme
+        arch = (REPO / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8")
+        assert "EXPERIMENTS.md" in arch
 
 
 class TestWorkloadsPage:

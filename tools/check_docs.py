@@ -28,6 +28,14 @@ CHECKS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("docs/FAULTS.md vs fault registry", ("tools/gen_fault_docs.py", "--check")),
     ("docs/SWEEPS.md vs sweep registry", ("tools/gen_sweep_docs.py", "--check")),
     (
+        "docs/EXPERIMENTS.md vs experiment registry",
+        ("tools/gen_experiment_docs.py", "--check"),
+    ),
+    (
+        "results/figures vs committed experiment reports",
+        ("tools/plot_experiments.py", "--check"),
+    ),
+    (
         "docs/BENCHMARKS.md vs committed baselines",
         ("tools/gen_bench_docs.py", "--check"),
     ),

@@ -55,7 +55,12 @@ TYPED_CORE = (
 
 #: Registry packages whose ``__init__.py`` must import every
 #: registering module (rule ``registry-coverage``).
-REGISTRY_PACKAGES = (f"{SRC}/scenarios", f"{SRC}/faults", f"{SRC}/sweep")
+REGISTRY_PACKAGES = (
+    f"{SRC}/scenarios",
+    f"{SRC}/faults",
+    f"{SRC}/sweep",
+    f"{SRC}/experiment",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -686,6 +691,7 @@ class FaultProtocol(Rule):
 # ---------------------------------------------------------------------------
 
 _REGISTER_DECORATORS = {"register", "register_fault"}
+_REGISTER_CALLS = {"register_sweep", "register_experiment"}
 
 
 def _registers_something(
@@ -708,8 +714,8 @@ def _registers_something(
                 or _reaches(classes, node.name, "Fault")
             ):
                 return f"registrable class {node.name}"
-        elif isinstance(node, ast.Call) and _callee_name(node) == "register_sweep":
-            return "a register_sweep declaration"
+        elif isinstance(node, ast.Call) and _callee_name(node) in _REGISTER_CALLS:
+            return f"a {_callee_name(node)} declaration"
     return None
 
 
@@ -719,16 +725,16 @@ class RegistryCoverage(Rule):
 
     spec = RuleSpec(
         name="registry-coverage",
-        summary="every scenarios/, faults/, sweep/ module that "
-        "registers something must be imported by its package "
+        summary="every scenarios/, faults/, sweep/, experiment/ module "
+        "that registers something must be imported by its package "
         "__init__.py",
         rationale="Registration is an import side effect: a module the "
         "package aggregator never imports simply vanishes — its "
-        "scenario/fault/sweep is absent from the CLI, the nightly "
-        "driver, and the generated catalogues, with no error "
+        "scenario/fault/sweep/experiment is absent from the CLI, the "
+        "nightly driver, and the generated catalogues, with no error "
         "anywhere.",
         scope="src/repro/scenarios/, src/repro/faults/, "
-        "src/repro/sweep/",
+        "src/repro/sweep/, src/repro/experiment/",
         pragma=None,
         fix="Import the module from the package __init__.py (the "
         "catalogue aggregator), the way every sibling module is.",
