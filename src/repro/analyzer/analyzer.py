@@ -21,7 +21,7 @@ is how the Fig 7/8/12 latency decompositions are produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import networkx as nx
 
@@ -31,8 +31,12 @@ from ..hostd.agent import HostAgent
 from ..hostd.query import FlowSummary, QueryResult
 from ..hostd.triggers import VictimAlert
 from ..rpc.fabric import Breakdown, RpcFabric
+from ..simnet.packet import FlowKey
 from ..simnet.topology import Network
 from ..switchd.agent import ControlPlaneStore, SwitchAgent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import DiagnosisSession
 
 
 @dataclass
@@ -70,6 +74,59 @@ class Analyzer:
     def ingest_alert(self, alert: VictimAlert) -> None:
         """Host-trigger sink; keeps the alert queue for the operator."""
         self.alerts.append(alert)
+
+    # -- online diagnosis ------------------------------------------------------
+
+    @property
+    def site(self) -> Optional[str]:
+        """The switch the analyzer is (notionally) attached at.
+
+        Deterministic — the lexicographically first switch — so the
+        topology-path-derived per-hop RPC costs are reproducible.
+        """
+        return min(self.network.switches) if self.network.switches else None
+
+    def hops_to(self, server: str) -> int:
+        """Topology hop count from the analyzer site to ``server``.
+
+        Served from the memoized per-source BFS the §4.3 pruning
+        already maintains (a shortest path's link set has exactly one
+        link per hop).  Unreachable or unknown servers cost 0 extra —
+        the timeout machinery, not wire distance, prices those.
+        """
+        site = self.site
+        if site is None:
+            return 0
+        links = self._path_link_sets_from(site).get(server)
+        return len(links) if links is not None else 0
+
+    def host_responsive(self, host: str) -> bool:
+        """Can ``host`` answer an analyzer RPC right now?
+
+        False for crashed agents and for hosts whose access link is
+        down — the two conditions under which the RPC fabric times the
+        host out and the diagnosis degrades instead of hanging.
+        """
+        agent = self.host_agents.get(host)
+        if agent is None or not agent.alive:
+            return False
+        node = self.network.hosts.get(host)
+        if node is not None and node.nic is not None:
+            return node.nic.link.up
+        return True
+
+    def ingest_seq(self) -> int:
+        """Global decoded-ingest watermark: sum of every host store's
+        ``ingested`` counter.  Freshness is measured as the difference
+        of this value between trigger and verdict."""
+        return sum(agent.store.ingested
+                   for agent in self.host_agents.values())
+
+    def open_session(self, *, stale_after_s: Optional[float] = None
+                     ) -> "DiagnosisSession":
+        """Open an online-diagnosis session (see :mod:`.session`)."""
+        from .session import DiagnosisSession
+        return DiagnosisSession(self, stale_after_s=stale_after_s)
 
     # -- pointer retrieval -----------------------------------------------------
 
@@ -176,7 +233,7 @@ class Analyzer:
 
     # -- search-radius pruning (§4.3) ------------------------------------------
 
-    def _path_links(self, flow, switch_path: Sequence[str]
+    def _path_links(self, flow: FlowKey, switch_path: Sequence[str]
                     ) -> set[frozenset]:
         """Undirected link set of the victim's end-to-end path.
 
@@ -219,15 +276,26 @@ class Analyzer:
     # -- host consultation -------------------------------------------------------
 
     def consult_hosts(self, hosts: Sequence[str],
-                      query: Callable[[HostAgent], QueryResult]
+                      query: Callable[[HostAgent], QueryResult],
+                      *, session: Optional["DiagnosisSession"] = None
                       ) -> tuple[dict[str, QueryResult], Breakdown]:
-        """Fan a query out to ``hosts`` through the RPC latency model."""
+        """Fan a query out to ``hosts`` through the RPC latency model.
+
+        Unresponsive hosts (crashed agent, downed access link) are
+        timed out by the fabric and absent from the result dict — a
+        partial answer.  When a :class:`DiagnosisSession` is attached,
+        the round's outcome (per-host watermarks, missing hosts) is
+        recorded on it so the final verdict can be tagged.
+        """
         known = [h for h in hosts if h in self.host_agents]
 
         def execute(server: str) -> QueryResult:
             return query(self.host_agents[server])
 
-        results, bd = self.rpc.fanout_query(known, execute)
+        results, bd = self.rpc.fanout_query(known, execute,
+                                            responsive=self.host_responsive)
+        if session is not None:
+            session.note_round(known, results)
         return results, bd
 
     def contending_flows(self, hosts: Sequence[str], switch: str,

@@ -33,13 +33,16 @@ extended fault catalogue (§2.4's "many other problems" claim):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.epoch import EpochRange
 from ..hostd.triggers import VictimAlert
 from ..rpc.fabric import Breakdown
 from ..simnet.packet import FlowKey
 from .analyzer import Analyzer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import DiagnosisSession
 
 #: Fig 7's detection phase: the 1 ms trigger window bounds it.
 DETECTION_S = 1e-3
@@ -74,6 +77,14 @@ class Verdict:
     #: a switch (gray failure), an egress switch (polarization, incast
     #: convergence point), or an "A-B" link (flap).
     suspect: Optional[str] = None
+    #: Online-diagnosis state (:mod:`repro.analyzer.session`):
+    #: ``complete`` | ``degraded`` | ``stale``.  Post-mortem diagnoses
+    #: keep the default — with the whole run's evidence at rest, their
+    #: answer is by construction complete.
+    status: str = "complete"
+    #: hosts that failed to answer during the session (evidence gaps);
+    #: non-empty exactly when ``status == "degraded"``
+    missing_hosts: list[str] = field(default_factory=list)
 
     @property
     def total_time_s(self) -> float:
@@ -405,6 +416,75 @@ def diagnose_gray_failure(analyzer: Analyzer, flow: FlowKey, *,
                    narrative=(f"no spatial cut on {flow.pretty()}'s path "
                               f"in epochs {silence_epochs.lo}-"
                               f"{silence_epochs.hi}"))
+
+
+def diagnose_gray_failure_online(analyzer: Analyzer, flow: FlowKey, *,
+                                 silence_epochs: EpochRange,
+                                 session: "DiagnosisSession"
+                                 ) -> Verdict:
+    """The incremental, simulated-time variant of gray-failure diagnosis.
+
+    Run inside a bound :class:`~repro.analyzer.session.DiagnosisSession`
+    (``with session:``), so every step below consumes simulated time and
+    races whatever the network does next:
+
+    1. the victim's trajectory is fetched from its destination host
+       through the session (a crashed destination times out and the
+       verdict degrades with the gap named, instead of erroring);
+    2. the spatial cut is localized from the per-switch pointers at the
+       best-effort hierarchy level (``level=None``) — the clock may
+       rotate epochs out of level 1 while the pulls are in flight;
+    3. one more **delta round** re-reads the destination for records
+       updated while steps 1–2 ran, so evidence that arrived during the
+       diagnosis (ingestion continues throughout) still reaches the
+       verdict;
+    4. the verdict is stamped ``complete | degraded | stale``.
+    """
+    from .netdebug import localize_packet_drops
+
+    bd = Breakdown()
+    bd.add("problem_detection", DETECTION_S)
+    bd.add("alert_to_analyzer", analyzer.rpc.alert_cost())
+
+    # step 1: trajectory from the destination's record, via the session
+    results, q_bd = analyzer.consult_hosts(
+        [flow.dst], lambda agent: agent.query.flow_details(flow),
+        session=session)
+    bd = bd.merged(q_bd)
+    path: list[str] = []
+    detail = results.get(flow.dst)
+    if detail is not None and detail.payload is not None:
+        path = list(detail.payload.switch_path)
+
+    # step 2: spatial cut over the silence window
+    loc = localize_packet_drops(analyzer, flow, path, silence_epochs,
+                                level=None)
+    bd = bd.merged(loc.breakdown)
+
+    # step 3: catch evidence that landed while steps 1-2 consumed time
+    if path:
+        _, d_bd = session.delta_flows([flow.dst], path[0], silence_epochs)
+        bd = bd.merged(d_bd)
+
+    if loc.localized:
+        here, nxt = loc.suspect_hop
+        suspect = nxt if nxt in analyzer.switch_agents else here
+        upstream = ", ".join(loc.forwarding) if loc.forwarding else "no"
+        narrative = (
+            f"packets of {flow.pretty()} vanish between {here} and {nxt}; "
+            f"pointers still name {flow.dst} at {upstream} upstream "
+            f"switch(es), never at {', '.join(loc.silent)}")
+        verdict = Verdict(problem="gray-failure", victim=flow,
+                          breakdown=bd, suspect=suspect,
+                          hosts_consulted=[flow.dst], narrative=narrative)
+    else:
+        verdict = Verdict(
+            problem="gray-failure", victim=flow, breakdown=bd,
+            suspect=None, hosts_consulted=[flow.dst],
+            narrative=(f"no spatial cut on {flow.pretty()}'s path "
+                       f"in epochs {silence_epochs.lo}-"
+                       f"{silence_epochs.hi}"))
+    return session.stamp(verdict)
 
 
 # ---------------------------------------------------------------------------

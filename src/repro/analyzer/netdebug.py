@@ -24,6 +24,7 @@ from typing import Optional
 from ..core.epoch import EpochRange
 from ..rpc.fabric import Breakdown
 from ..simnet.packet import FlowKey
+from ..simnet.topology import Network
 from .analyzer import Analyzer
 
 
@@ -51,7 +52,7 @@ class DropLocalization:
 
 def localize_packet_drops(analyzer: Analyzer, flow: FlowKey,
                           switch_path: list[str], epochs: EpochRange,
-                          *, level: int = 1) -> DropLocalization:
+                          *, level: Optional[int] = 1) -> DropLocalization:
     """Find the hop where ``flow``'s packets silently vanish.
 
     ``switch_path`` is the flow's known trajectory (from its record,
@@ -167,7 +168,7 @@ def check_path_conformance(analyzer: Analyzer, *,
     return report
 
 
-def _is_shortest(net, flow: FlowKey, switch_path: list[str],
+def _is_shortest(net: Network, flow: FlowKey, switch_path: list[str],
                  cache: dict[tuple[str, str],
                              Optional[set[tuple[str, ...]]]]) -> bool:
     pair = (flow.src, flow.dst)

@@ -164,10 +164,12 @@ def _show_point(point) -> None:
         status = f"ok [suspect: {suspects}]"
     else:
         status = f"MISDIAGNOSED: {point.problems or 'no verdict'}"
+    fresh = (f"  freshness={point.freshness}"
+             if point.freshness else "")
     print(f"  point {point.index}: {params}  "
           f"{point.wall_time_s:6.2f}s  "
           f"flows={point.flow_count}  "
-          f"peak_records={point.peak_records}  {status}")
+          f"peak_records={point.peak_records}{fresh}  {status}")
 
 
 def _write_report(report, out: Path) -> list[str]:

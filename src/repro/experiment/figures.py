@@ -30,6 +30,7 @@ _INK_MUTED = "#898781"
 _GRID = "#e1e0d9"
 _BASELINE = "#c3c2b7"
 _SERIES = "#2a78d6"
+_FRESHNESS = "#c2703f"
 
 _WIDTH = 640
 _HEIGHT = 400
@@ -125,11 +126,29 @@ def figure_svg(doc: dict[str, Any], fig: Optional[FigureSpec] = None) -> str:
         f'<text x="{_fmt(_MARGIN_LEFT)}" y="24" {_FONT} font-size="15" '
         f'font-weight="600" fill="{_INK}">{fig.title}</text>'
     )
+    freshness: list[tuple[float, float]] = []
+    fresh_max = 0.0
+    if fig.freshness_series:
+        freshness = [
+            (
+                float(point["params"][fig.x_axis]),
+                float(point["freshness"]["mean"]),
+            )
+            for point in doc["points"]
+        ]
+        freshness.sort(key=lambda item: item[0])
+        fresh_max = max((v for _, v in freshness), default=0.0)
     reps = doc["reps"]
+    subtitle = (
+        f"mean of {reps} seeded repetitions per point; band: min–max"
+    )
+    if fig.freshness_series:
+        subtitle += (
+            f"; dashed: freshness (scaled, max {fresh_max:g} records)"
+        )
     out.append(
         f'<text x="{_fmt(_MARGIN_LEFT)}" y="42" {_FONT} font-size="12" '
-        f'fill="{_INK_SECONDARY}">mean of {reps} seeded repetitions '
-        f"per point; band: min–max</text>"
+        f'fill="{_INK_SECONDARY}">{subtitle}</text>'
     )
 
     # horizontal gridlines + y ticks at clean accuracy fractions
@@ -191,6 +210,27 @@ def figure_svg(doc: dict[str, Any], fig: Optional[FigureSpec] = None) -> str:
                 f'<text x="{_fmt(vx + 6)}" y="{_fmt(_MARGIN_TOP + 14)}" '
                 f'{_FONT} font-size="11" fill="{_INK_SECONDARY}">'
                 f"{fig.vline_label}</text>"
+            )
+
+    # verdict-freshness overlay: dashed, scaled to its own maximum so
+    # the [0, 1] accuracy scale can carry it; drawn under the accuracy
+    # line (the primary series stays on top)
+    if fig.freshness_series and freshness:
+        scale = fresh_max or 1.0
+        fresh_path = " ".join(
+            f"{_fmt(sx(x))},{_fmt(sy(v / scale))}" for x, v in freshness
+        )
+        out.append(
+            f'<polyline points="{fresh_path}" fill="none" '
+            f'stroke="{_FRESHNESS}" stroke-width="1.5" '
+            f'stroke-dasharray="5 4" stroke-linejoin="round" '
+            f'stroke-linecap="round"/>'
+        )
+        for x, v in freshness:
+            out.append(
+                f'<circle cx="{_fmt(sx(x))}" cy="{_fmt(sy(v / scale))}" '
+                f'r="3" fill="{_SURFACE}" stroke="{_FRESHNESS}" '
+                f'stroke-width="1.5"/>'
             )
 
     # mean accuracy: 2px line, round joins, markers with a surface ring

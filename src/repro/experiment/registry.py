@@ -46,6 +46,10 @@ class FigureSpec:
     axes.  ``vline`` marks an analytic boundary on the x axis (the
     ε-asynchrony bound, a coverage threshold) so the rendered curve
     shows *where* the paper's assumption stops holding.
+    ``freshness_series`` overlays the per-point mean verdict freshness
+    (records ingested network-wide during diagnosis) as a dashed
+    secondary curve scaled to its own maximum — the online-diagnosis
+    studies chart accuracy *and* staleness cost on one figure.
     """
 
     x_axis: str
@@ -53,6 +57,7 @@ class FigureSpec:
     title: str
     vline: Optional[float] = None
     vline_label: str = ""
+    freshness_series: bool = False
 
 
 @dataclass(frozen=True)

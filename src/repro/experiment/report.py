@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-SCHEMA = "switchpointer.experiment-report/v1"
+SCHEMA = "switchpointer.experiment-report/v2"
 RUN_SCHEMA = "switchpointer.experiment-run/v1"
 MANIFEST_SCHEMA = "switchpointer.experiment-manifest/v1"
 
@@ -39,6 +39,8 @@ _RUN_FIELDS: dict[str, tuple[type, ...]] = {
     "problems": (list,),
     "suspects": (list,),
     "sim_time_s": (int, float),
+    "diagnosis_latency_sim_s": (int, float),
+    "freshness": (int,),
     "flow_count": (int,),
     "peak_records": (int,),
     "pending_faults": (int,),
@@ -53,6 +55,8 @@ _POINT_FIELDS: dict[str, tuple[type, ...]] = {
     "reps": (int,),
     "accuracy": (dict,),
     "sim_time_s": (dict,),
+    "diagnosis_latency_sim_s": (dict,),
+    "freshness": (dict,),
     "errors": (int,),
     "pending_faults": (int,),
     "peak_records": (int,),
@@ -100,6 +104,8 @@ class RunRecord:
     problems: list[str] = field(default_factory=list)
     suspects: list[str] = field(default_factory=list)
     sim_time_s: float = 0.0
+    diagnosis_latency_sim_s: float = 0.0
+    freshness: int = 0
     flow_count: int = 0
     peak_records: int = 0
     pending_faults: int = 0
@@ -127,6 +133,10 @@ class RunRecord:
             problems=list(result["problems"]),
             suspects=list(result["suspects"]),
             sim_time_s=result["sim_time_s"],
+            # absent from pre-v3 sweep payloads (offline-only diagnosis)
+            diagnosis_latency_sim_s=result.get(
+                "diagnosis_latency_sim_s", 0.0),
+            freshness=result.get("freshness", 0),
             flow_count=result["flow_count"],
             peak_records=result["peak_records"],
             pending_faults=_count_pending(result),
@@ -144,6 +154,8 @@ class RunRecord:
             "problems": list(self.problems),
             "suspects": list(self.suspects),
             "sim_time_s": round(self.sim_time_s, 9),
+            "diagnosis_latency_sim_s": round(self.diagnosis_latency_sim_s, 9),
+            "freshness": self.freshness,
             "flow_count": self.flow_count,
             "peak_records": self.peak_records,
             "pending_faults": self.pending_faults,
@@ -169,6 +181,8 @@ class PointAggregate:
     reps: int
     accuracy: dict[str, float]
     sim_time_s: dict[str, float]
+    diagnosis_latency_sim_s: dict[str, float]
+    freshness: dict[str, float]
     errors: int
     pending_faults: int
     peak_records: int
@@ -184,6 +198,10 @@ class PointAggregate:
             reps=len(runs),
             accuracy=_stats([1.0 if r.ok else 0.0 for r in runs], 6),
             sim_time_s=_stats([r.sim_time_s for r in runs], 9),
+            diagnosis_latency_sim_s=_stats(
+                [r.diagnosis_latency_sim_s for r in runs], 9
+            ),
+            freshness=_stats([float(r.freshness) for r in runs], 6),
             errors=sum(1 for r in runs if r.error is not None),
             pending_faults=sum(r.pending_faults for r in runs),
             peak_records=max(r.peak_records for r in runs),
@@ -197,6 +215,8 @@ class PointAggregate:
             "reps": self.reps,
             "accuracy": dict(self.accuracy),
             "sim_time_s": dict(self.sim_time_s),
+            "diagnosis_latency_sim_s": dict(self.diagnosis_latency_sim_s),
+            "freshness": dict(self.freshness),
             "errors": self.errors,
             "pending_faults": self.pending_faults,
             "peak_records": self.peak_records,
@@ -366,7 +386,8 @@ def validate_experiment_report(doc: Any) -> list[str]:
                 errors.append(
                     f"points[{i}].{name} must be {_type_name(types)}"
                 )
-        for stat in ("accuracy", "sim_time_s"):
+        for stat in ("accuracy", "sim_time_s",
+                     "diagnosis_latency_sim_s", "freshness"):
             if isinstance(point.get(stat), dict):
                 errors.extend(_check_stats(f"points[{i}]", stat, point[stat]))
     summary = doc["summary"]

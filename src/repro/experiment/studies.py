@@ -15,6 +15,14 @@ claims):
   so its nightly grid stays green; the *study* unpins it (the point is
   to chart degradation, not avoid it), so stripping switches genuinely
   removes telemetry and accuracy decays with coverage, seed by seed.
+* **rpc-latency-degradation** — *online* diagnosis as per-RPC latency
+  stretches the analyzer's query window across a mid-diagnosis agent
+  crash.  At zero extra latency the verdict lands before the crash
+  (complete, accurate); as latency grows the crash races the window —
+  first the verdict merely degrades (the missing host named, the
+  suspect still localized), then the path query itself is lost and
+  accuracy collapses.  Freshness (records ingested while diagnosing)
+  grows with the window throughout: the figure charts both.
 """
 
 from __future__ import annotations
@@ -61,6 +69,31 @@ register_experiment(
             x_axis="deploy",
             x_label="fraction of switches running telemetry",
             title="Diagnosis accuracy vs deployment fraction",
+        ),
+    )
+)
+
+register_experiment(
+    ExperimentSpec(
+        name="rpc-latency-degradation",
+        sweep="rpc-latency",
+        summary=(
+            "online diagnosis accuracy collapsing — and verdict "
+            "freshness cost growing — as per-RPC latency stretches the "
+            "query window across a mid-diagnosis agent crash"
+        ),
+        axes={"rpc_ms": (0.0, 2.0, 5.0, 10.0, 20.0)},
+        reps=5,
+        figure=FigureSpec(
+            x_axis="rpc_ms",
+            x_label="extra per-RPC latency (ms, simulated)",
+            title="Online diagnosis vs RPC latency",
+            # measured crossing: past ~5.4 ms the victim's path query
+            # is still in flight when the h4_0 agent dies at 100 ms,
+            # so localization loses its trajectory evidence
+            vline=5.4,
+            vline_label="path query crosses the crash",
+            freshness_series=True,
         ),
     )
 )

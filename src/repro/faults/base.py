@@ -44,6 +44,11 @@ PENDING = "pending"
 ACTIVE = "active"
 HEALED = "healed"
 
+#: Reporting label (not a lifecycle state): an ACTIVE fault whose
+#: injection fired after diagnosis began — it raced the analyzer's
+#: query window, and the verdict is expected to degrade, not error.
+ACTIVE_DURING_DIAGNOSIS = "active-during-diagnosis"
+
 
 class FaultError(Exception):
     """Raised for registry misuse or invalid fault parameters."""
@@ -145,6 +150,10 @@ class Fault(abc.ABC):
                 f"start ({start}) — cannot heal before injecting"
             )
         self.state = PENDING
+        #: simulated time at which inject() actually fired (None while
+        #: pending) — lets the plan tell a fault that raced the
+        #: diagnosis window apart from one that fired during the run
+        self.injected_at: Optional[float] = None
 
     # -- the two state transitions -----------------------------------------
 
@@ -188,6 +197,7 @@ class Fault(abc.ABC):
             )
         self.inject(ctx)
         self.state = ACTIVE
+        self.injected_at = ctx.network.sim.now
 
     def _fire_heal(self, ctx: FaultContext) -> None:
         if self.state != ACTIVE:
@@ -200,8 +210,13 @@ class Fault(abc.ABC):
 
     # -- description --------------------------------------------------------
 
-    def describe(self) -> str:
-        """One line: what this instance does, when, to what."""
+    def describe(self, *, state: Optional[str] = None) -> str:
+        """One line: what this instance does, when, to what.
+
+        ``state`` overrides the lifecycle state label — the plan uses
+        it to report :data:`ACTIVE_DURING_DIAGNOSIS` for faults whose
+        injection raced the analyzer's query window.
+        """
         own = {
             k: v
             for k, v in sorted(self.p.items())
@@ -211,7 +226,8 @@ class Fault(abc.ABC):
         when = f"@{self.p['start'] * 1e3:.1f}ms"
         if self.p["stop"] is not None:
             when += f"-{self.p['stop'] * 1e3:.1f}ms"
-        return f"{self.spec.name}({args}) {when} [{self.state}]"
+        label = state if state is not None else self.state
+        return f"{self.spec.name}({args}) {when} [{label}]"
 
 
 class FaultRegistry:

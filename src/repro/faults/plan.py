@@ -31,7 +31,16 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional
 
-from .base import ACTIVE, FAULTS, Fault, FaultContext, FaultError, HEALED, PENDING
+from .base import (
+    ACTIVE,
+    ACTIVE_DURING_DIAGNOSIS,
+    FAULTS,
+    Fault,
+    FaultContext,
+    FaultError,
+    HEALED,
+    PENDING,
+)
 
 
 class FaultPlan:
@@ -40,6 +49,7 @@ class FaultPlan:
     def __init__(self, faults: Optional[list[Fault]] = None):
         self.faults: list[Fault] = list(faults or [])
         self._scheduled = False
+        self._diagnosis_start: Optional[float] = None
 
     # -- composition --------------------------------------------------------
 
@@ -108,6 +118,34 @@ class FaultPlan:
     def healed(self) -> list[Fault]:
         return self.by_state(HEALED)
 
+    def mark_diagnosis_start(self, now: float) -> None:
+        """Record when the diagnosis phase began (simulated seconds).
+
+        From here on, a still-scheduled fault whose injection fires —
+        because the online analyzer's RPCs advance simulated time — is
+        reported :data:`~repro.faults.base.ACTIVE_DURING_DIAGNOSIS`
+        instead of being misfiled as ``pending`` or plain ``active``:
+        it raced the query window, and the scenario asserts the verdict
+        degraded rather than errored.
+        """
+        self._diagnosis_start = now
+
+    def raced_diagnosis(self, fault: Fault) -> bool:
+        """Did ``fault`` inject after the diagnosis phase began?"""
+        return (
+            self._diagnosis_start is not None
+            and fault.state == ACTIVE
+            and fault.injected_at is not None
+            and fault.injected_at >= self._diagnosis_start
+        )
+
     def status(self) -> list[str]:
         """One describe() line per fault (scenario measurements)."""
-        return [fault.describe() for fault in self.faults]
+        return [
+            fault.describe(
+                state=ACTIVE_DURING_DIAGNOSIS
+                if self.raced_diagnosis(fault)
+                else None
+            )
+            for fault in self.faults
+        ]

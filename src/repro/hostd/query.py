@@ -35,11 +35,18 @@ from .records import FlowRecord, FlowRecordStore
 
 @dataclass(slots=True)
 class QueryResult:
-    """Query payload + the execution-cost accounting the RPC model uses."""
+    """Query payload + the execution-cost accounting the RPC model uses.
+
+    ``as_of_seq`` is the store's ingest watermark (its ``ingested``
+    count) when the query ran — the value an incremental reader passes
+    back as ``since_seq`` on its next delta query to receive only what
+    changed in between.
+    """
 
     payload: object
     records_scanned: int = 0
     records_returned: int = 0
+    as_of_seq: int = 0
 
 
 class FlowSummary:
@@ -226,13 +233,29 @@ class QueryEngine:
                            records_returned=len(payload))
 
     def flows_matching(self, switch: str,
-                       epochs: Optional[EpochRange] = None) -> QueryResult:
-        """All flows whose headers match the (switchID, epochID) filter."""
+                       epochs: Optional[EpochRange] = None, *,
+                       since_seq: Optional[int] = None) -> QueryResult:
+        """All flows whose headers match the (switchID, epochID) filter.
+
+        With ``since_seq`` this is the incremental-analyzer delta
+        query: only records updated after that watermark come back, and
+        the result's ``as_of_seq`` is the watermark to resume from.
+        Summaries are materialized eagerly here — a delta reader merges
+        them while the store keeps ingesting, so lazily-snapshotted
+        containers would observe later state than the watermark claims.
+        """
         self._begin()
-        matches, scanned = self._scan(switch, epochs)
-        payload = [FlowSummary.of(r) for r in matches]
+        matches, scanned = self.store.scan_through(
+            switch, epochs, since_seq=since_seq)
+        payload = []
+        for rec in matches:
+            summary = FlowSummary.of(rec)
+            if since_seq is not None:
+                summary._materialize()
+            payload.append(summary)
         return QueryResult(payload=payload, records_scanned=scanned,
-                           records_returned=len(payload))
+                           records_returned=len(payload),
+                           as_of_seq=self.store.ingested)
 
     def flow_details(self, flow: FlowKey) -> QueryResult:
         """Telemetry for one flow (None payload when unknown here)."""

@@ -68,6 +68,11 @@ class FlowRecord:
     _store: Optional["FlowRecordStore"] = field(
         default=None, repr=False, compare=False)
     _seq: int = field(default=0, repr=False, compare=False)
+    #: the owning store's ingest count when this record last absorbed a
+    #: packet — the watermark delta queries (``since_seq``) filter on.
+    #: Records mutate in place as epoch ranges widen, so incremental
+    #: readers key on "updated since my last watermark", not creation.
+    _update_seq: int = field(default=0, repr=False, compare=False)
 
     def observe(self, *, nbytes: int, t: float, priority: int,
                 switch_path: list[str],
@@ -258,6 +263,7 @@ class FlowRecordStore:
         """One decoded packet → record update (decoder entry point)."""
         self.ingested += 1
         rec = self.record_for(flow)
+        rec._update_seq = self.ingested
         rec.observe(nbytes=nbytes, t=t, priority=priority,
                     switch_path=switch_path, ranges=ranges,
                     observed_epoch=observed_epoch)
@@ -378,13 +384,21 @@ class FlowRecordStore:
         return self.scan_through(switch, epochs)[0]
 
     def scan_through(self, switch: str,
-                     epochs: Optional[EpochRange] = None
+                     epochs: Optional[EpochRange] = None, *,
+                     since_seq: Optional[int] = None
                      ) -> tuple[list[FlowRecord], int]:
         """:meth:`flows_through` plus the number of records examined.
 
         The second element is the query-execution cost the RPC latency
         model charges: the size of the index bucket actually inspected,
         not the size of the whole table.
+
+        ``since_seq`` turns the scan into a **delta query**: only
+        records updated after that ingest watermark (the store's
+        ``ingested`` count at the previous read) are returned.  Because
+        a record's epoch range at a switch only ever widens, matching
+        is monotone — re-reading deltas and merging by flow reproduces
+        exactly the one-shot answer at the same watermark.
         """
         self._notify_read()
         bucket = self._by_switch.get(switch)
@@ -392,13 +406,18 @@ class FlowRecordStore:
             return [], 0
         if epochs is None:
             matches = sorted(bucket.values(), key=_record_seq)
-            return matches, len(matches)
+            scanned = len(matches)
+            if since_seq is not None:
+                matches = [rec for rec in matches
+                           if rec._update_seq > since_seq]
+            return matches, scanned
         # sorted-by-lo cache + bisect: records with lo > epochs.hi can
         # never intersect the window and are skipped without a look
         los, entries = self._sorted_bucket(switch)
         cut = bisect_right(los, epochs.hi)
         hits = [(seq, rec) for _, seq, rec in entries[:cut]
-                if rec.epoch_ranges[switch].hi >= epochs.lo]
+                if rec.epoch_ranges[switch].hi >= epochs.lo
+                and (since_seq is None or rec._update_seq > since_seq)]
         hits.sort()
         return [rec for _, rec in hits], cut
 

@@ -129,6 +129,7 @@ class ShardedRecordStore:
         """One decoded packet → record update (decoder entry point)."""
         self.ingested += 1
         rec = self.record_for(flow)
+        rec._update_seq = self.ingested
         rec.observe(
             nbytes=nbytes,
             t=t,
@@ -227,14 +228,23 @@ class ShardedRecordStore:
         return self.scan_through(switch, epochs)[0]
 
     def scan_through(
-        self, switch: str, epochs: Optional[EpochRange] = None
+        self,
+        switch: str,
+        epochs: Optional[EpochRange] = None,
+        *,
+        since_seq: Optional[int] = None,
     ) -> tuple[list[FlowRecord], int]:
-        """Per-shard indexed scans, merged back into creation order."""
+        """Per-shard indexed scans, merged back into creation order.
+
+        ``since_seq`` is the delta-query watermark, measured against
+        the *parent* store's ``ingested`` counter (shards share the
+        update stamps the parent writes at ingest time).
+        """
         self._notify_read()
         scanned = 0
         per_shard: list[list[FlowRecord]] = []
         for shard in self.shards:
-            matches, cost = shard.scan_through(switch, epochs)
+            matches, cost = shard.scan_through(switch, epochs, since_seq=since_seq)
             scanned += cost
             if matches:
                 per_shard.append(matches)

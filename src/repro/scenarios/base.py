@@ -89,6 +89,11 @@ class ScenarioSpec:
     aliases: tuple[str, ...] = ()
     smoke_knobs: dict[str, Any] = field(default_factory=dict)
     faults: tuple[str, ...] = ()
+    #: verdict states this scenario's diagnosis can emit
+    #: (:data:`repro.analyzer.session.VERDICT_STATES` subset); scenarios
+    #: with an online diagnosis path declare all three, post-mortem
+    #: scenarios keep the default
+    verdict_states: tuple[str, ...] = ("complete",)
 
     @property
     def cli_example(self) -> str:
@@ -125,6 +130,13 @@ class ScenarioResult:
     payload: Any = None
     network: Optional[Network] = None
     deployment: Optional[SwitchPointerDeployment] = None
+    #: simulated seconds the diagnosis phase consumed (0.0 when the
+    #: analyzer runs post-mortem outside simulated time)
+    diagnosis_latency_sim: float = 0.0
+    #: decoded records ingested network-wide between the diagnosis
+    #: trigger and the verdict — how far the network moved on while
+    #: the analyzer was looking at it
+    freshness: int = 0
 
     def verdict(self, problem: str) -> Optional[Verdict]:
         """The first verdict whose ``problem`` matches, if any."""
@@ -143,6 +155,11 @@ class ScenarioResult:
                            for p, s in self.timings.items())
         out.append(f"wall clock: {phases}")
         out.append(f"simulated time: {self.sim_time * 1e3:.1f} ms")
+        if self.diagnosis_latency_sim or self.freshness:
+            out.append("diagnosis latency (sim): "
+                       f"{self.diagnosis_latency_sim * 1e3:.1f} ms")
+            out.append(f"freshness: {self.freshness} records ingested "
+                       f"during diagnosis")
         for key, value in sorted(self.measurements.items()):
             out.append(f"{key}: {value}")
         drops = {sw: st for sw, st in self.switch_stats.items()
@@ -153,7 +170,13 @@ class ScenarioResult:
                        f"link_down={st.link_down_drops}")
         for v in self.verdicts:
             suspect = f" [suspect: {v.suspect}]" if v.suspect else ""
-            out.append(f"diagnosis ({v.problem}){suspect}: {v.narrative}")
+            status = ""
+            if v.status != "complete":
+                gaps = (f" missing_hosts={','.join(v.missing_hosts)}"
+                        if v.missing_hosts else "")
+                status = f" [{v.status}{gaps}]"
+            out.append(f"diagnosis ({v.problem}){status}{suspect}: "
+                       f"{v.narrative}")
         if not self.verdicts:
             out.append("diagnosis: (none — no verdict produced)")
         return out
@@ -241,21 +264,36 @@ class Scenario(abc.ABC):
             # without healing — diagnosis sees the faults as-is
             self.faults.finalize(fault_ctx)
         measurements = timed("collect", self.collect) or {}
+        plan_status_owned = False
         if self.faults:
             # the composed plan's lifecycle, for reports and sweeps: a
             # fault that never fired (start beyond the run window)
             # shows up as pending instead of silently vanishing
+            plan_status_owned = "fault_plan" not in measurements
             measurements.setdefault("fault_plan", self.faults.status())
         verdicts: list[Verdict] = []
+        diag_started_sim = self.network.sim.now
+        seq_at_trigger = self.deployment.analyzer.ingest_seq()
         if with_diagnosis:
+            if self.faults:
+                self.faults.mark_diagnosis_start(diag_started_sim)
             verdicts = timed("diagnose", self.diagnose) or []
+            if self.faults and plan_status_owned:
+                # online diagnosis consumes simulated time: a fault that
+                # fired *during* the query window must be re-reported as
+                # active-during-diagnosis, not left as the pre-diagnosis
+                # pending snapshot
+                measurements["fault_plan"] = self.faults.status()
         return ScenarioResult(
             name=self.spec.name, knobs=dict(self.p), timings=timings,
             sim_time=self.network.sim.now,
             switch_stats=self._switch_stats(),
             verdicts=verdicts, measurements=measurements,
             payload=getattr(self, "payload", None),
-            network=self.network, deployment=self.deployment)
+            network=self.network, deployment=self.deployment,
+            diagnosis_latency_sim=self.network.sim.now - diag_started_sim,
+            freshness=(self.deployment.analyzer.ingest_seq()
+                       - seq_at_trigger))
 
     def _switch_stats(self) -> dict[str, SwitchStats]:
         stats = {}

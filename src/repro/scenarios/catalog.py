@@ -38,6 +38,9 @@ def _spec_markdown(spec: ScenarioSpec) -> str:
     lines = [f"## `{spec.name}`", "", spec.summary, ""]
     lines.append(f"- **Reproduces / models:** {spec.paper_ref}")
     lines.append(f"- **Expected diagnosis:** {spec.expected_diagnosis}")
+    states = ", ".join(f"`{s}`" for s in spec.verdict_states)
+    lines.append(f"- **Verdict states (see "
+                 f"[DIAGNOSIS.md](DIAGNOSIS.md)):** {states}")
     if spec.faults:
         fault_str = ", ".join(f"`{f}`" for f in spec.faults)
         lines.append(f"- **Injects (fault registry, see "

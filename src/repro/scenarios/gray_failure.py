@@ -14,9 +14,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..analyzer.apps import Verdict, diagnose_gray_failure
+from ..analyzer.apps import (Verdict, diagnose_gray_failure,
+                             diagnose_gray_failure_online)
 from ..core.epoch import EpochRange
 from ..deployment import SwitchPointerDeployment
+from ..rpc.fabric import LatencyModel
 from ..simnet.packet import PRIO_LOW, FlowKey
 from ..simnet.topology import Network, build_linear
 from ..simnet.traffic import UdpCbrSource, UdpSink
@@ -74,12 +76,26 @@ class GrayFailureScenario(Scenario):
                                      "agent (>1 = sharded store)"),
             "ingest_batch": Knob(1, "sniffed packets decoded per "
                                     "ingest batch"),
+            "online": Knob(1, "diagnose through an online session "
+                              "(RPCs advance simulated time; 0 = "
+                              "offline zero-cost queries)"),
+            "rpc_latency_ms": Knob(0.0, "extra per-RPC latency charged "
+                                        "in simulated time (online "
+                                        "sessions only)"),
+            "stale_after_ms": Knob(0.0, "staleness budget: verdicts "
+                                        "taking longer (simulated) are "
+                                        "stamped stale (0 = no budget)"),
+            "overrun_ms": Knob(0.0, "how long the CBR sources keep "
+                                    "transmitting past the run window "
+                                    "(online diagnosis then races live "
+                                    "ingestion)"),
             **background_knobs(),
             **fault_knobs(),
         },
         aliases=("silent-drop",),
         smoke_knobs={"n_flows": 2, "duration": 0.040},
         faults=("silent-drop",),
+        verdict_states=("complete", "degraded", "stale"),
     )
 
     def build(self) -> None:
@@ -93,6 +109,8 @@ class GrayFailureScenario(Scenario):
         deploy = SwitchPointerDeployment(
             net, alpha_ms=p["alpha_ms"], k=p["k"], epsilon_ms=1,
             delta_ms=2,
+            latency_model=LatencyModel().with_extra(
+                p["rpc_latency_ms"] * 1e-3),
             records_per_host=p["records_per_host"] or None,
             record_shards=p["record_shards"],
             ingest_batch=p["ingest_batch"])
@@ -107,7 +125,8 @@ class GrayFailureScenario(Scenario):
                                sport=9000 + i, dport=9000 + i,
                                rate_bps=rate, packet_size=500,
                                priority=PRIO_LOW, start=0.001,
-                               duration=p["duration"] - 0.002)
+                               duration=p["duration"] - 0.002 +
+                                        p["overrun_ms"] * 1e-3)
             (self.affected if i % 2 == 0 else self.healthy).append(src.flow)
 
         # the fault, declared through the registry: silently drop the
@@ -168,10 +187,25 @@ class GrayFailureScenario(Scenario):
         }
 
     def diagnose(self) -> list[Verdict]:
+        p = self.p
         analyzer = self.deployment.analyzer
-        return [diagnose_gray_failure(analyzer, flow,
-                                      silence_epochs=self.silence_epochs)
-                for flow in self.affected]
+        if not p["online"]:
+            return [diagnose_gray_failure(
+                        analyzer, flow,
+                        silence_epochs=self.silence_epochs)
+                    for flow in self.affected]
+        # online: one session per trigger window — RPCs advance the
+        # simulated clock, evidence arrives as delta rounds, and a host
+        # that dies mid-query degrades the verdict instead of erroring
+        stale_ms = p["stale_after_ms"]
+        session = analyzer.open_session(
+            stale_after_s=stale_ms * 1e-3 if stale_ms else None)
+        with session:
+            return [diagnose_gray_failure_online(
+                        analyzer, flow,
+                        silence_epochs=self.silence_epochs,
+                        session=session)
+                    for flow in self.affected]
 
 
 register_sweep(SweepSpec(
@@ -216,6 +250,29 @@ register_sweep(SweepSpec(
     # 5.0 charts the degradation curve beyond the bound
     default_grid={"skew_ms": (0.0, 2.0, 5.0)},
     nightly_grid={"skew_ms": (0.0, 2.0)},
+))
+
+register_sweep(SweepSpec(
+    scenario="gray-failure",
+    name="rpc-latency",
+    summary="online diagnosis as per-RPC latency stretches the query "
+            "window across a mid-diagnosis agent crash",
+    expect_problem="gray-failure",
+    expect_suspect_knob="fault_switch",
+    axes={
+        "rpc_ms": "rpc_latency_ms",
+        "victims": "n_flows",
+        "stale_ms": "stale_after_ms",
+    },
+    default_grid={"rpc_ms": (0.0, 2.0, 5.0, 10.0, 20.0)},
+    nightly_grid={"rpc_ms": (0.0, 2.0)},
+    # h4_0's agent dies at 100 ms, with the sources still transmitting:
+    # at rpc_ms=0 the diagnosis finishes first (the crash stays
+    # pending); beyond that it races the query window — the verdict
+    # degrades (missing h4_0), and past ~5.4 ms the path query itself
+    # is lost before the crash, so localization fails too
+    base_knobs={"n_flows": 2, "overrun_ms": 250.0,
+                "crash_host": "h4_0", "crash_at": 0.1},
 ))
 
 register_sweep(SweepSpec(

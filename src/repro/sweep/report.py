@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-SCHEMA = "switchpointer.sweep-report/v2"
+SCHEMA = "switchpointer.sweep-report/v3"
 
 #: required per-point fields → allowed JSON types
 _POINT_FIELDS: dict[str, tuple[type, ...]] = {
@@ -32,6 +32,8 @@ _POINT_FIELDS: dict[str, tuple[type, ...]] = {
     "wall_time_s": (int, float),
     "phase_s": (dict,),
     "sim_time_s": (int, float),
+    "diagnosis_latency_sim_s": (int, float),
+    "freshness": (int,),
     "flow_count": (int,),
     "peak_records": (int,),
     "total_records": (int,),
@@ -68,6 +70,8 @@ class PointResult:
     wall_time_s: float = 0.0
     phase_s: dict[str, float] = field(default_factory=dict)
     sim_time_s: float = 0.0
+    diagnosis_latency_sim_s: float = 0.0
+    freshness: int = 0
     flow_count: int = 0
     peak_records: int = 0
     total_records: int = 0
@@ -94,6 +98,8 @@ class PointResult:
             "wall_time_s": round(self.wall_time_s, 6),
             "phase_s": {k: round(v, 6) for k, v in self.phase_s.items()},
             "sim_time_s": round(self.sim_time_s, 9),
+            "diagnosis_latency_sim_s": round(self.diagnosis_latency_sim_s, 9),
+            "freshness": self.freshness,
             "flow_count": self.flow_count,
             "peak_records": self.peak_records,
             "total_records": self.total_records,
@@ -116,6 +122,8 @@ class PointResult:
             wall_time_s=doc["wall_time_s"],
             phase_s=dict(doc["phase_s"]),
             sim_time_s=doc["sim_time_s"],
+            diagnosis_latency_sim_s=doc["diagnosis_latency_sim_s"],
+            freshness=doc["freshness"],
             flow_count=doc["flow_count"],
             peak_records=doc["peak_records"],
             total_records=doc["total_records"],

@@ -62,6 +62,8 @@ def execute_point(payload: _PointPayload) -> PointResult:
     result.wall_time_s = time.perf_counter() - start  # reprolint: allow[wall-clock]
     result.phase_s = dict(outcome.timings)
     result.sim_time_s = outcome.sim_time
+    result.diagnosis_latency_sim_s = outcome.diagnosis_latency_sim
+    result.freshness = outcome.freshness
     result.problems = [v.problem for v in outcome.verdicts]
     result.suspects = [v.suspect for v in outcome.verdicts if v.suspect]
     result.diagnosis_ok = expect_problem in result.problems and (

@@ -18,6 +18,7 @@ REPO = Path(__file__).resolve().parents[2]
 TYPED_CORE = (
     "src/repro/sweep",
     "src/repro/faults",
+    "src/repro/analyzer",
     "src/repro/scenarios/base.py",
     "src/repro/simnet/workload.py",
 )

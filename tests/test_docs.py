@@ -142,7 +142,7 @@ class TestExperimentCatalog:
         assert "byte-identical" in page
         assert "manifest.json" in page
         assert "pending" in page
-        assert "switchpointer.experiment-report/v1" in page
+        assert "switchpointer.experiment-report/v2" in page
 
     def test_generator_check_mode_passes(self):
         proc = subprocess.run(
@@ -192,6 +192,56 @@ class TestWorkloadsPage:
         arch = (REPO / "docs" / "ARCHITECTURE.md").read_text(
             encoding="utf-8")
         assert "WORKLOADS.md" in arch
+
+
+class TestDiagnosisPage:
+    README_KNOBS = {"rpc_latency_ms": 2, "overrun_ms": 250, "n_flows": 2,
+                    "crash_host": "h4_0", "crash_at": 0.1}
+
+    def test_exists_and_covers_the_model(self):
+        page = (REPO / "docs" / "DIAGNOSIS.md").read_text(encoding="utf-8")
+        for anchor in ("DiagnosisSession", "since_seq", "complete",
+                       "degraded", "stale", "missing_hosts",
+                       "diagnosis_latency_sim", "freshness",
+                       "timeout_retry_cost", "rpc_latency_ms",
+                       "stale_after_ms", "overrun_ms",
+                       "active-during-diagnosis", "with_extra",
+                       "rpc-latency-degradation"):
+            assert anchor in page
+
+    def test_linked_from_readme_architecture_and_catalog(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/DIAGNOSIS.md" in readme
+        arch = (REPO / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8")
+        assert "DIAGNOSIS.md" in arch
+        scenarios = (REPO / "docs" / "SCENARIOS.md").read_text(
+            encoding="utf-8")
+        assert "DIAGNOSIS.md" in scenarios
+
+    def test_readme_example_knobs_are_verbatim(self):
+        """The README online-diagnosis example must carry exactly the
+        knobs the sync test below executes."""
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        for knob, value in self.README_KNOBS.items():
+            assert f"--knob {knob}={value}" in readme
+        assert "--knob rpc_latency_ms=0" in readme
+
+    def test_readme_example_output_is_real(self):
+        """Executing the README example reproduces the output it
+        claims: degraded + missing h4_0 + suspect S3 at 2 ms of extra
+        RPC latency, complete at 0 ms."""
+        cls = REGISTRY.get("gray-failure")
+
+        degraded = cls(**self.README_KNOBS).execute()
+        summary = "\n".join(degraded.summary_lines())
+        assert "[degraded missing_hosts=h4_0]" in summary
+        assert "[suspect: S3]" in summary
+
+        knobs = dict(self.README_KNOBS, rpc_latency_ms=0)
+        complete = cls(**knobs).execute()
+        assert all(v.status == "complete" for v in complete.verdicts)
+        assert any(v.suspect == "S3" for v in complete.verdicts)
 
 
 class TestBenchmarksPage:

@@ -46,7 +46,30 @@ CHECKS: tuple[tuple[str, tuple[str, ...]], ...] = (
 )
 
 
+def _unregistered_generators() -> list[str]:
+    """Every ``tools/gen_*_docs.py`` must appear in :data:`CHECKS`.
+
+    A generated page whose generator never joined the registry would
+    pass CI while drifting silently; this self-check turns the omission
+    into a hard failure.
+    """
+    registered = {args[0] for _, args in CHECKS}
+    return sorted(
+        f"tools/{path.name}"
+        for path in (REPO / "tools").glob("gen_*_docs.py")
+        if f"tools/{path.name}" not in registered
+    )
+
+
 def main(argv: list[str]) -> int:
+    missing = _unregistered_generators()
+    if missing:
+        print(
+            "check_docs: generator(s) not registered in CHECKS: "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 1
     failed = []
     for label, args in CHECKS:
         proc = subprocess.run(

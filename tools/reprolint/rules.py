@@ -49,6 +49,7 @@ SIMULATED_TIME_CORE = (
 TYPED_CORE = (
     f"{SRC}/sweep",
     f"{SRC}/faults",
+    f"{SRC}/analyzer",
     f"{SRC}/scenarios/base.py",
     f"{SRC}/simnet/workload.py",
 )
@@ -934,14 +935,15 @@ class TypedDefs(Rule):
     spec = RuleSpec(
         name="typed-defs",
         summary="every function in the typed-core subset (sweep/, "
-        "faults/, scenarios/base.py, simnet/workload.py) has complete "
-        "parameter and return annotations",
+        "faults/, analyzer/, scenarios/base.py, simnet/workload.py) "
+        "has complete parameter and return annotations",
         rationale="CI runs mypy over exactly this subset with "
         "disallow_untyped_defs; this rule enforces the same "
         "completeness from the AST, so the gap surfaces in any "
         "environment — including ones without mypy installed.",
         scope="src/repro/sweep/, src/repro/faults/, "
-        "src/repro/scenarios/base.py, src/repro/simnet/workload.py",
+        "src/repro/analyzer/, src/repro/scenarios/base.py, "
+        "src/repro/simnet/workload.py",
         pragma=None,
         fix="Annotate every parameter (typing.Any is acceptable where "
         "the value is genuinely dynamic) and the return type; "
