@@ -58,6 +58,11 @@ class SwitchPointerDeployment:
         bound (None = unbounded), the number of record-store shards
         (>1 = :class:`~repro.hostd.sharded.ShardedRecordStore`), and the
         sniffed-packet batch size for deferred-eviction ingestion.
+    record_backend:
+        Which record-store backend every host agent builds
+        (:mod:`repro.hostd.backends`): ``"flat"``, ``"sharded"``,
+        ``"columnar"``, or ``"auto"`` (historical default, override-able
+        process-wide).  All backends are query-equivalent.
     """
 
     def __init__(self, network: Network, *,
@@ -71,7 +76,8 @@ class SwitchPointerDeployment:
                  enforce_commodity_limit: bool = False,
                  records_per_host: Optional[int] = None,
                  record_shards: int = 1,
-                 ingest_batch: int = 1):
+                 ingest_batch: int = 1,
+                 record_backend: str = "auto"):
         self.network = network
         self.alpha_ms = alpha_ms
         self.k = k
@@ -117,7 +123,8 @@ class SwitchPointerDeployment:
                 estimator=self.estimator,
                 max_records=records_per_host,
                 record_shards=record_shards,
-                ingest_batch=ingest_batch)
+                ingest_batch=ingest_batch,
+                record_backend=record_backend)
 
         #: stripped-switch stash: name -> (datapath, agent), maintained
         #: by uninstrument_switch/reinstrument_switch

@@ -2,6 +2,10 @@
 
 from .records import FlowRecord, FlowRecordStore, SeqCounter
 from .sharded import ShardedRecordStore
+from .backends import (available_backends, backend_summaries, make_store,
+                       register_backend, resolve_backend,
+                       set_default_backend, use_backend)
+from .columnar import ColumnarRecordStore, ColumnarRecordView
 from .decoder import TelemetryDecoder
 from .triggers import (SwitchEpochTuple, TcpTimeoutTrigger,
                        ThroughputDropTrigger, VictimAlert,
@@ -13,6 +17,10 @@ from . import aggregate
 __all__ = [
     "FlowRecord", "FlowRecordStore", "SeqCounter",
     "ShardedRecordStore",
+    "ColumnarRecordStore", "ColumnarRecordView",
+    "available_backends", "backend_summaries", "make_store",
+    "register_backend", "resolve_backend", "set_default_backend",
+    "use_backend",
     "TelemetryDecoder",
     "ThroughputDropTrigger", "TcpTimeoutTrigger", "VictimAlert",
     "SwitchEpochTuple", "alert_tuples_from_record",

@@ -1,0 +1,158 @@
+"""Record-store backend registry (the ``record_backend`` knob).
+
+The host agent stores flow records in one of several interchangeable
+backends — the object-based :class:`~repro.hostd.records.FlowRecordStore`
+(the equivalence reference), the source-hashed
+:class:`~repro.hostd.sharded.ShardedRecordStore`, and the array-backed
+:class:`~repro.hostd.columnar.ColumnarRecordStore`.  All of them expose
+the same ingest/query/spill surface and return byte-identical query
+payloads (the property suite in
+``tests/property/test_columnar_equivalence.py`` is the proof), so which
+one a deployment uses is a pure performance knob.
+
+This module is the registry those deployments select from:
+
+* :func:`register_backend` — decorator registering a factory under a
+  name (``reprolint``'s registry-coverage rule checks every registering
+  module is reachable from the package ``__init__``).
+* :func:`make_store` — build a store by backend name; ``"auto"`` picks
+  the historical default (sharded when ``record_shards > 1``, flat
+  otherwise) unless a process-wide override is active.
+* :func:`use_backend` / :func:`set_default_backend` — override what
+  ``"auto"`` resolves to, so a test harness can run every scenario on a
+  chosen backend without threading a knob through each scenario.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from .records import FlowRecordStore
+from .sharded import DEFAULT_SHARDS, ShardedRecordStore
+
+#: factory signature: (host_name, spill_path, max_records, record_shards)
+BackendFactory = Callable[[str, Optional[Path], Optional[int], int], object]
+
+_BACKENDS: dict[str, BackendFactory] = {}
+_SUMMARIES: dict[str, str] = {}
+_default_override: Optional[str] = None
+
+
+def register_backend(
+    name: str, *, summary: str
+) -> Callable[[BackendFactory], BackendFactory]:
+    """Register a store factory under ``name`` (decorator)."""
+
+    def deco(factory: BackendFactory) -> BackendFactory:
+        if name in _BACKENDS:
+            raise ValueError(f"record backend {name!r} already registered")
+        _BACKENDS[name] = factory
+        _SUMMARIES[name] = summary
+        return factory
+
+    return deco
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (``"auto"`` is always valid too)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def backend_summaries() -> dict[str, str]:
+    """Name → one-line summary for docs/catalogue generation."""
+    return {name: _SUMMARIES[name] for name in available_backends()}
+
+
+def default_backend() -> Optional[str]:
+    """The active ``"auto"`` override, or None for the historical default."""
+    return _default_override
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Override what ``"auto"`` resolves to, process-wide.
+
+    ``None`` (or ``"auto"``) restores the historical default.  Scenario
+    construction reads the override at build time, so flipping it
+    between runs re-points every host agent with no per-scenario knob.
+    """
+    global _default_override
+    if name is not None and name != "auto" and name not in _BACKENDS:
+        raise ValueError(
+            f"unknown record backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    _default_override = None if name == "auto" else name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Scoped :func:`set_default_backend` (the equivalence-test harness)."""
+    prev = _default_override
+    set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(prev)
+
+
+def resolve_backend(backend: str, *, record_shards: int = 1) -> str:
+    """Resolve a knob value (possibly ``"auto"``) to a registered name."""
+    if backend == "auto":
+        if _default_override is not None:
+            return _default_override
+        return "sharded" if record_shards > 1 else "flat"
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown record backend {backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return backend
+
+
+def make_store(
+    backend: str,
+    host_name: str,
+    *,
+    spill_path: Optional[Path] = None,
+    max_records: Optional[int] = None,
+    record_shards: int = 1,
+) -> object:
+    """Build a record store by backend name (``"auto"`` allowed)."""
+    name = resolve_backend(backend, record_shards=record_shards)
+    return _BACKENDS[name](host_name, spill_path, max_records, record_shards)
+
+
+@register_backend(
+    "flat",
+    summary="object-based FlowRecordStore — the equivalence reference",
+)
+def _flat_factory(
+    host_name: str,
+    spill_path: Optional[Path],
+    max_records: Optional[int],
+    record_shards: int,
+) -> object:
+    return FlowRecordStore(
+        host_name, spill_path=spill_path, max_records=max_records
+    )
+
+
+@register_backend(
+    "sharded",
+    summary="source-hashed FlowRecordStore shards, merged queries",
+)
+def _sharded_factory(
+    host_name: str,
+    spill_path: Optional[Path],
+    max_records: Optional[int],
+    record_shards: int,
+) -> object:
+    n_shards = record_shards if record_shards > 1 else DEFAULT_SHARDS
+    return ShardedRecordStore(
+        host_name,
+        spill_path=spill_path,
+        max_records=max_records,
+        n_shards=n_shards,
+    )

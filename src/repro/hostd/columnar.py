@@ -1,0 +1,884 @@
+"""Array-backed end-host record storage (the ``columnar`` backend).
+
+:class:`ColumnarRecordStore` keeps one host's flow records as parallel
+numpy columns instead of per-flow Python objects: byte/packet counts,
+priority, creation sequence, update watermark and first/last-seen
+timestamps each live in one contiguous ``int64``/``float64`` array
+indexed by *row*.  The irregular per-flow telemetry (switch path, the
+per-switch epoch ranges of §4.2.1, per-epoch byte counts) stays in
+per-row containers of plain ints — there is no object-per-packet or
+object-per-range churn on the ingest path.
+
+The per-switch inverted index is columnar too: for every switchID an
+:class:`_SwitchIndex` holds ``(row, lo, hi, seq)`` arrays kept sorted by
+``(lo, seq)`` lazily, so the §3 ``(switchID, epochID)`` header filter is
+one ``searchsorted`` bisect plus a vectorized ``hi >= lo`` mask instead
+of a Python loop.  Appends and range widenings are O(1) in-place array
+writes (batched index maintenance); the sort is re-established at most
+once per query round.
+
+Equivalence contract — checked by
+``tests/property/test_columnar_equivalence.py`` against the retained
+object-based reference (:class:`~repro.hostd.records.FlowRecordStore`):
+
+* same ingest/query/spill/reload API, same counters;
+* query results are byte-identical, **including** ``records_scanned``
+  (the RPC latency model charges for it, so the index compacts stale
+  entries away before counting a bisect cut);
+* eviction picks the same victims in the same spill order (vectorized
+  ``(last_seen, seq)`` staleness instead of a heap);
+* :meth:`ColumnarRecordStore.ingest_batch` folds a decoded-packet batch
+  group-by-flow and is exactly equivalent to ``begin_batch()`` +
+  per-packet ``ingest()`` + ``end_batch()`` — unions are associative,
+  first/last/priority pick first/last packets, and the per-flow update
+  watermark is the batch-relative index of the flow's last packet.
+
+Records handed out by queries are :class:`ColumnarRecordView` flyweights
+reading straight from the columns; evicting or superseding a row freezes
+any outstanding view so it keeps the dead record's telemetry, the same
+lifetime a detached ``FlowRecord`` object has.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..core.epoch import EpochRange
+from ..simnet.packet import FlowKey
+from .backends import register_backend
+from .records import SeqCounter
+
+#: one decoded packet, as produced by ``TelemetryDecoder.decode_batch``:
+#: (flow, nbytes, t, priority, switch_path, pairs, observed_epoch) —
+#: epoch ranges travel as plain ``{switch: (lo, hi)}`` int pairs so the
+#: batch path never touches per-packet EpochRange objects
+IngestEntry = tuple[
+    FlowKey,
+    int,
+    float,
+    int,
+    list[str],
+    dict[str, tuple[int, int]],
+    Optional[int],
+]
+
+
+class _SwitchIndex:
+    """Per-switch ``(row, lo, hi, seq)`` columns, lazily (lo, seq)-sorted.
+
+    ``pos`` maps live row → array slot and is authoritative for
+    membership; removals only tombstone the slot (``row = -1``) and are
+    compacted away on the next :meth:`prepare`, so eviction stays O(1)
+    per entry.  ``sort_dirty`` is set only when an append or a ``lo``
+    move actually breaks the sort, keeping the common
+    monotonically-appending workload sort-free.
+    """
+
+    __slots__ = ("rows", "los", "his", "seqs", "n", "cap", "pos", "n_stale", "sort_dirty")
+
+    def __init__(self) -> None:
+        self.cap = 16
+        self.rows = np.empty(self.cap, np.int64)
+        self.los = np.empty(self.cap, np.int64)
+        self.his = np.empty(self.cap, np.int64)
+        self.seqs = np.empty(self.cap, np.int64)
+        self.n = 0
+        self.pos: dict[int, int] = {}
+        self.n_stale = 0
+        self.sort_dirty = False
+
+    def _grow(self) -> None:
+        new_cap = self.cap * 2
+        for name in ("rows", "los", "his", "seqs"):
+            arr = np.empty(new_cap, np.int64)
+            arr[: self.n] = getattr(self, name)[: self.n]
+            setattr(self, name, arr)
+        self.cap = new_cap
+
+    def add(self, row: int, lo: int, hi: int, seq: int) -> None:
+        if self.n == self.cap:
+            self._grow()
+        i = self.n
+        self.rows[i] = row
+        self.los[i] = lo
+        self.his[i] = hi
+        self.seqs[i] = seq
+        self.pos[row] = i
+        self.n = i + 1
+        if i and not self.sort_dirty:
+            plo = self.los[i - 1]
+            if lo < plo or (lo == plo and seq < self.seqs[i - 1]):
+                self.sort_dirty = True
+
+    def update(self, row: int, lo: int, hi: int, *, lo_moved: bool) -> None:
+        i = self.pos[row]
+        self.los[i] = lo
+        self.his[i] = hi
+        if lo_moved:
+            self.sort_dirty = True
+
+    def remove(self, row: int) -> None:
+        i = self.pos.pop(row, None)
+        if i is not None:
+            self.rows[i] = -1
+            self.n_stale += 1
+
+    def prepare(self) -> None:
+        """Compact tombstones away, then re-establish the (lo, seq) sort."""
+        n = self.n
+        if self.n_stale:
+            mask = self.rows[:n] >= 0
+            k = int(mask.sum())
+            for name in ("rows", "los", "his", "seqs"):
+                arr = getattr(self, name)
+                arr[:k] = arr[:n][mask]
+            self.n = n = k
+            self.n_stale = 0
+            self.pos = {int(r): i for i, r in enumerate(self.rows[:k])}
+        if self.sort_dirty:
+            order = np.lexsort((self.seqs[:n], self.los[:n]))
+            for name in ("rows", "los", "his", "seqs"):
+                arr = getattr(self, name)
+                arr[:n] = arr[:n][order]
+            self.pos = {int(r): i for i, r in enumerate(self.rows[:n])}
+            self.sort_dirty = False
+
+
+class ColumnarRecordView:
+    """Record-shaped window onto one row of a :class:`ColumnarRecordStore`.
+
+    Exposes the :class:`~repro.hostd.records.FlowRecord` read surface
+    (``flow``/``bytes``/``packets``/``priority``/``first_seen``/
+    ``last_seen``/``switch_path``/``epoch_ranges``/``bytes_by_epoch``,
+    ``epochs_at``/``traversed``/``to_json`` and the ``_seq``/
+    ``_update_seq`` ordering keys) by reading the live columns.  When
+    the underlying row is evicted, superseded or dropped, the store
+    freezes the view first — it then serves the dead record's telemetry
+    forever, like a detached record object would.
+    """
+
+    __slots__ = ("_cstore", "_row", "_frozen")
+
+    def __init__(self, store: "ColumnarRecordStore", row: int) -> None:
+        self._cstore = store
+        self._row = row
+        self._frozen: Optional[dict[str, Any]] = None
+
+    def _freeze(self) -> None:
+        if self._frozen is not None:
+            return
+        s = self._cstore
+        row = self._row
+        first = s._first[row]
+        last = s._last[row]
+        self._frozen = {
+            "flow": s._flows[row],
+            "switch_path": list(s._paths[row]),
+            "epoch_ranges": dict(s._eps[row]),
+            "bytes_by_epoch": dict(s._bbe[row]),
+            "packets": int(s._packets[row]),
+            "bytes": int(s._bytes[row]),
+            "priority": int(s._priority[row]),
+            "first_seen": None if np.isnan(first) else float(first),
+            "last_seen": None if np.isnan(last) else float(last),
+            "seq": int(s._seq_col[row]),
+            "update_seq": int(s._upd_col[row]),
+        }
+
+    @property
+    def flow(self) -> FlowKey:
+        f = self._frozen
+        if f is not None:
+            return f["flow"]
+        return self._cstore._flows[self._row]
+
+    @property
+    def bytes(self) -> int:
+        f = self._frozen
+        if f is not None:
+            return f["bytes"]
+        return int(self._cstore._bytes[self._row])
+
+    @property
+    def packets(self) -> int:
+        f = self._frozen
+        if f is not None:
+            return f["packets"]
+        return int(self._cstore._packets[self._row])
+
+    @property
+    def priority(self) -> int:
+        f = self._frozen
+        if f is not None:
+            return f["priority"]
+        return int(self._cstore._priority[self._row])
+
+    @property
+    def first_seen(self) -> Optional[float]:
+        f = self._frozen
+        if f is not None:
+            return f["first_seen"]
+        v = self._cstore._first[self._row]
+        return None if np.isnan(v) else float(v)
+
+    @property
+    def last_seen(self) -> Optional[float]:
+        f = self._frozen
+        if f is not None:
+            return f["last_seen"]
+        v = self._cstore._last[self._row]
+        return None if np.isnan(v) else float(v)
+
+    @property
+    def switch_path(self) -> list[str]:
+        f = self._frozen
+        if f is not None:
+            return list(f["switch_path"])
+        return list(self._cstore._paths[self._row])
+
+    def _pairs(self) -> dict[str, tuple[int, int]]:
+        f = self._frozen
+        if f is not None:
+            return f["epoch_ranges"]
+        return self._cstore._eps[self._row]
+
+    @property
+    def epoch_ranges(self) -> dict[str, EpochRange]:
+        return {sw: EpochRange(lo, hi) for sw, (lo, hi) in self._pairs().items()}
+
+    @property
+    def bytes_by_epoch(self) -> dict[int, int]:
+        f = self._frozen
+        if f is not None:
+            return dict(f["bytes_by_epoch"])
+        return dict(self._cstore._bbe[self._row])
+
+    @property
+    def _seq(self) -> int:
+        f = self._frozen
+        if f is not None:
+            return f["seq"]
+        return int(self._cstore._seq_col[self._row])
+
+    @property
+    def _update_seq(self) -> int:
+        f = self._frozen
+        if f is not None:
+            return f["update_seq"]
+        return int(self._cstore._upd_col[self._row])
+
+    def epochs_at(self, switch: str) -> Optional[EpochRange]:
+        pair = self._pairs().get(switch)
+        return EpochRange(pair[0], pair[1]) if pair else None
+
+    def traversed(self, switch: str) -> bool:
+        return switch in self._pairs()
+
+    def to_json(self) -> dict:
+        f = self._frozen
+        if f is None:
+            return self._cstore._row_json(self._row)
+        return {
+            "flow": list(f["flow"]),
+            "switch_path": list(f["switch_path"]),
+            "epoch_ranges": {
+                sw: [lo, hi] for sw, (lo, hi) in f["epoch_ranges"].items()
+            },
+            "bytes_by_epoch": {
+                str(e): b for e, b in f["bytes_by_epoch"].items()
+            },
+            "packets": f["packets"],
+            "bytes": f["bytes"],
+            "priority": f["priority"],
+            "first_seen": f["first_seen"],
+            "last_seen": f["last_seen"],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarRecordView(flow={self.flow!r}, bytes={self.bytes}, "
+            f"packets={self.packets}, priority={self.priority})"
+        )
+
+
+class ColumnarRecordStore:
+    """Per-host record table on parallel numpy columns, flat-equivalent.
+
+    Drop-in for :class:`~repro.hostd.records.FlowRecordStore` everywhere
+    the host agent, query engine and triggers touch it: same ingest
+    entry points (plus the batched :meth:`ingest_batch` fast path), same
+    query methods, same spill/reload/crash semantics, same counters.
+    """
+
+    def __init__(
+        self,
+        host_name: str,
+        spill_path: Optional[Path] = None,
+        max_records: Optional[int] = None,
+        seq_counter: Optional[SeqCounter] = None,
+    ):
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.host_name = host_name
+        self.spill_path = Path(spill_path) if spill_path else None
+        self.max_records = max_records
+        self._seq = seq_counter if seq_counter is not None else SeqCounter()
+        self._cap = 64
+        self._n = 0
+        self._free: list[int] = []
+        #: flow → row, in record-creation (= flat-table insertion) order
+        self._rows: dict[FlowKey, int] = {}
+        self._bytes = np.zeros(self._cap, np.int64)
+        self._packets = np.zeros(self._cap, np.int64)
+        self._priority = np.zeros(self._cap, np.int64)
+        self._seq_col = np.zeros(self._cap, np.int64)
+        self._upd_col = np.zeros(self._cap, np.int64)
+        self._first = np.full(self._cap, np.nan)
+        self._last = np.full(self._cap, np.nan)
+        #: per-row irregular telemetry (plain ints, no EpochRange objects)
+        self._flows: list[FlowKey] = []
+        self._paths: list[tuple[str, ...]] = []
+        self._eps: list[dict[str, tuple[int, int]]] = []
+        self._bbe: list[dict[int, int]] = []
+        self._index: dict[str, _SwitchIndex] = {}
+        self._views: dict[int, ColumnarRecordView] = {}
+        self._deferring = False
+        #: read-side hook, same contract as the flat store's
+        self.before_read: Optional[Callable[[], object]] = None
+        self.peak_records = 0
+        self.spilled = 0
+        self.evicted = 0
+        #: decoded packets folded into the table (ingest throughput)
+        self.ingested = 0
+
+    # -- row allocation ------------------------------------------------------
+
+    def _grow(self) -> None:
+        new_cap = self._cap * 2
+        for name in ("_bytes", "_packets", "_priority", "_seq_col", "_upd_col"):
+            arr = np.zeros(new_cap, np.int64)
+            arr[: self._cap] = getattr(self, name)
+            setattr(self, name, arr)
+        for name in ("_first", "_last"):
+            arr = np.full(new_cap, np.nan)
+            arr[: self._cap] = getattr(self, name)
+            setattr(self, name, arr)
+        self._cap = new_cap
+
+    def _alloc_row(self, flow: FlowKey) -> int:
+        """A fresh (or recycled) row for ``flow``: no bound check here."""
+        if self._free:
+            row = self._free.pop()
+            self._flows[row] = flow
+        else:
+            row = self._n
+            if row == self._cap:
+                self._grow()
+            self._n = row + 1
+            self._flows.append(flow)
+            self._paths.append(())
+            self._eps.append({})
+            self._bbe.append({})
+        self._bytes[row] = 0
+        self._packets[row] = 0
+        self._priority[row] = 0
+        self._seq_col[row] = self._seq.take()
+        self._upd_col[row] = 0
+        self._first[row] = np.nan
+        self._last[row] = np.nan
+        self._rows[flow] = row
+        return row
+
+    def _row_for(self, flow: FlowKey) -> int:
+        """Row of ``flow``, creating one (flat ``record_for`` semantics)."""
+        row = self._rows.get(flow)
+        if row is None:
+            row = self._alloc_row(flow)
+            if len(self._rows) > self.peak_records:
+                self.peak_records = len(self._rows)
+            if (
+                self.max_records is not None
+                and not self._deferring
+                and len(self._rows) > self.max_records
+            ):
+                self._evict()
+        return row
+
+    def record_for(self, flow: FlowKey) -> ColumnarRecordView:
+        return self._view(self._row_for(flow))
+
+    def _view(self, row: int) -> ColumnarRecordView:
+        v = self._views.get(row)
+        if v is None:
+            v = ColumnarRecordView(self, row)
+            self._views[row] = v
+        return v
+
+    def _detach_view(self, row: int) -> None:
+        v = self._views.pop(row, None)
+        if v is not None:
+            v._freeze()
+
+    def _index_for(self, switch: str) -> _SwitchIndex:
+        idx = self._index.get(switch)
+        if idx is None:
+            idx = self._index[switch] = _SwitchIndex()
+        return idx
+
+    # -- ingest --------------------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Defer eviction checks until :meth:`end_batch` (flat contract)."""
+        self._deferring = True
+
+    def end_batch(self) -> None:
+        self._deferring = False
+        if self.max_records is not None and len(self._rows) > self.max_records:
+            self._evict()
+
+    def ingest(
+        self,
+        flow: FlowKey,
+        *,
+        nbytes: int,
+        t: float,
+        priority: int,
+        switch_path: list[str],
+        ranges: dict[str, EpochRange],
+        observed_epoch: Optional[int],
+    ) -> ColumnarRecordView:
+        """One decoded packet → record update (decoder entry point)."""
+        self.ingested += 1
+        row = self._row_for(flow)
+        self._upd_col[row] = self.ingested
+        self._packets[row] += 1
+        self._bytes[row] += nbytes
+        self._priority[row] = priority
+        if np.isnan(self._first[row]):
+            self._first[row] = t
+        self._last[row] = t
+        if switch_path:
+            self._paths[row] = tuple(switch_path)
+        eps = self._eps[row]
+        seq = int(self._seq_col[row])
+        for sw, rng in ranges.items():
+            cur = eps.get(sw)
+            if cur is None:
+                pair = (rng.lo, rng.hi)
+                eps[sw] = pair
+                self._index_for(sw).add(row, pair[0], pair[1], seq)
+            else:
+                lo, hi = cur
+                nlo = rng.lo if rng.lo < lo else lo
+                nhi = rng.hi if rng.hi > hi else hi
+                if nlo != lo or nhi != hi:
+                    eps[sw] = (nlo, nhi)
+                    self._index_for(sw).update(
+                        row, nlo, nhi, lo_moved=nlo != lo
+                    )
+        if observed_epoch is not None:
+            bbe = self._bbe[row]
+            bbe[observed_epoch] = bbe.get(observed_epoch, 0) + nbytes
+        return self._view(row)
+
+    def ingest_batch(self, entries: Iterable[IngestEntry]) -> int:
+        """Fold a batch of decoded packets, grouped by flow (fast path).
+
+        Exactly equivalent to ``begin_batch()`` + per-packet
+        :meth:`ingest` of each entry (with its pairs as
+        ``EpochRange``s) + ``end_batch()``: per-flow aggregates commute
+        with per-packet folding (byte/packet sums, first/last
+        timestamps, last priority, last non-empty path, epoch-range
+        unions, per-epoch byte sums), row creation follows first
+        appearance so creation sequence matches, and each flow's update
+        watermark is the batch index of its last packet.  A packet
+        whose ``pairs`` dict *is* the previous one for its flow (the
+        decoder memoizes parses within a flush) skips the merge loop
+        entirely — identity implies equality implies an already-absorbed
+        union.  Returns the number of packets folded.
+        """
+        groups: dict[FlowKey, list] = {}
+        get = groups.get
+        count = 0
+        for flow, nbytes, t, priority, path, pairs, epoch in entries:
+            count += 1
+            g = get(flow)
+            if g is None:
+                be: dict[int, int] = {}
+                if epoch is not None:
+                    be[epoch] = nbytes
+                groups[flow] = [
+                    nbytes, 1, t, t, priority,
+                    path if path else None, dict(pairs), be, count,
+                    pairs,
+                ]
+            else:
+                g[0] += nbytes
+                g[1] += 1
+                g[3] = t
+                g[4] = priority
+                if path:
+                    g[5] = path
+                if pairs is not g[9]:
+                    rd = g[6]
+                    for sw, pair in pairs.items():
+                        cur = rd.get(sw)
+                        if cur is None:
+                            rd[sw] = pair
+                        elif pair != cur:
+                            lo, hi = pair
+                            clo, chi = cur
+                            if lo < clo or hi > chi:
+                                rd[sw] = (
+                                    lo if lo < clo else clo,
+                                    hi if hi > chi else chi,
+                                )
+                    g[9] = pairs
+                if epoch is not None:
+                    be = g[7]
+                    be[epoch] = be.get(epoch, 0) + nbytes
+                g[8] = count
+        return self.apply_groups(groups, count)
+
+    def apply_groups(self, groups: dict[FlowKey, list], count: int) -> int:
+        """Apply per-flow groups built by the :meth:`ingest_batch` loop.
+
+        The vectorized tail of the batched fast path, split out so the
+        decoder's fused ``flush_batch`` (which builds the same group
+        lists while decoding, skipping the per-packet entry tuples) can
+        share it.  ``count`` is the number of packets folded into
+        ``groups``; callers must not reuse a groups dict.
+        """
+        if not count:
+            return 0
+        base = self.ingested
+        prev_defer = self._deferring
+        self._deferring = True
+        # row allocation first: _grow() may reallocate the columns, so
+        # every column reference below is taken after the last _row_for
+        row_for = self._row_for
+        row_list = [row_for(flow) for flow in groups]
+        n = len(row_list)
+        rows = np.fromiter(row_list, dtype=np.int64, count=n)
+        gvals = list(groups.values())
+        # scatter the scalar columns in one shot per column — rows are
+        # unique (one group per flow), so fancy-index += is exact
+        self._upd_col[rows] = base + np.fromiter(
+            (g[8] for g in gvals), dtype=np.int64, count=n
+        )
+        self._bytes[rows] += np.fromiter(
+            (g[0] for g in gvals), dtype=np.int64, count=n
+        )
+        self._packets[rows] += np.fromiter(
+            (g[1] for g in gvals), dtype=np.int64, count=n
+        )
+        self._priority[rows] = np.fromiter(
+            (g[4] for g in gvals), dtype=np.int64, count=n
+        )
+        first_col = self._first
+        nan_mask = np.isnan(first_col[rows])
+        if nan_mask.any():
+            first_col[rows[nan_mask]] = np.fromiter(
+                (g[2] for g in gvals), dtype=np.float64, count=n
+            )[nan_mask]
+        self._last[rows] = np.fromiter(
+            (g[3] for g in gvals), dtype=np.float64, count=n
+        )
+        seqs = self._seq_col[rows].tolist()
+        paths = self._paths
+        all_eps = self._eps
+        all_bbe = self._bbe
+        index_for = self._index_for
+        for i, g in enumerate(gvals):
+            row = row_list[i]
+            if g[5] is not None:
+                paths[row] = tuple(g[5])
+            eps = all_eps[row]
+            seq = seqs[i]
+            for sw, pair in g[6].items():
+                cur = eps.get(sw)
+                if cur is None:
+                    eps[sw] = pair
+                    index_for(sw).add(row, pair[0], pair[1], seq)
+                else:
+                    lo, hi = cur
+                    nlo = pair[0] if pair[0] < lo else lo
+                    nhi = pair[1] if pair[1] > hi else hi
+                    if nlo != lo or nhi != hi:
+                        eps[sw] = (nlo, nhi)
+                        index_for(sw).update(
+                            row, nlo, nhi, lo_moved=nlo != lo
+                        )
+            if g[7]:
+                bbe = all_bbe[row]
+                for e, b in g[7].items():
+                    bbe[e] = bbe.get(e, 0) + b
+        self.ingested = base + count
+        self._deferring = prev_defer
+        if (
+            not prev_defer
+            and self.max_records is not None
+            and len(self._rows) > self.max_records
+        ):
+            self._evict()
+        return count
+
+    # -- eviction ------------------------------------------------------------
+
+    def _evict(self, *, spill: bool = True) -> None:
+        """Spill/drop stalest rows until under the bound (vectorized)."""
+        assert self.max_records is not None
+        excess = len(self._rows) - self.max_records
+        if excess <= 0:
+            return
+        live = np.fromiter(
+            self._rows.values(), dtype=np.int64, count=len(self._rows)
+        )
+        stale = self._last[live]
+        stale = np.where(np.isnan(stale), np.inf, stale)
+        order = np.lexsort((self._seq_col[live], stale))
+        victims = live[order[:excess]]
+        self._drop_rows([int(r) for r in victims], spill=spill)
+
+    def _drop_rows(self, rows: list[int], *, spill: bool = True) -> None:
+        """Spill (optionally) then unindex+free the given rows."""
+        if spill and self.spill_path is not None:
+            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.spill_path.open("a", encoding="utf-8") as fh:
+                for row in rows:
+                    fh.write(json.dumps(self._row_json(row)) + "\n")
+                    self.spilled += 1
+        for row in rows:
+            del self._rows[self._flows[row]]
+            for sw in self._eps[row]:
+                idx = self._index.get(sw)
+                if idx is not None:
+                    idx.remove(row)
+            self._detach_view(row)
+            self._paths[row] = ()
+            self._eps[row] = {}
+            self._bbe[row] = {}
+            self._free.append(row)
+            self.evicted += 1
+
+    def drop_all(self) -> int:
+        """Lose every in-memory record without spilling (crash loss)."""
+        lost = len(self._rows)
+        for row in list(self._views):
+            self._detach_view(row)
+        self._rows.clear()
+        self._index.clear()
+        self._free.clear()
+        self._flows.clear()
+        self._paths.clear()
+        self._eps.clear()
+        self._bbe.clear()
+        self._n = 0
+        return lost
+
+    # -- lookup / iteration --------------------------------------------------
+
+    def _notify_read(self) -> None:
+        if self.before_read is not None:
+            self.before_read()
+
+    def get(self, flow: FlowKey) -> Optional[ColumnarRecordView]:
+        self._notify_read()
+        row = self._rows.get(flow)
+        return self._view(row) if row is not None else None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[ColumnarRecordView]:
+        """All records, in flat-table insertion order."""
+        return (self._view(row) for row in list(self._rows.values()))
+
+    # -- the §3 header filter ------------------------------------------------
+
+    def flows_through(
+        self, switch: str, epochs: Optional[EpochRange] = None
+    ) -> list[ColumnarRecordView]:
+        """Records whose path crossed ``switch`` (in ``epochs``, if given)."""
+        return self.scan_through(switch, epochs)[0]
+
+    def scan_through(
+        self,
+        switch: str,
+        epochs: Optional[EpochRange] = None,
+        *,
+        since_seq: Optional[int] = None,
+    ) -> tuple[list[ColumnarRecordView], int]:
+        """Vectorized indexed scan; same results + cost as the flat store."""
+        self._notify_read()
+        return self._scan_impl(switch, epochs, since_seq)
+
+    def _scan_impl(
+        self,
+        switch: str,
+        epochs: Optional[EpochRange],
+        since_seq: Optional[int],
+    ) -> tuple[list[ColumnarRecordView], int]:
+        idx = self._index.get(switch)
+        if idx is None or not idx.pos:
+            return [], 0
+        idx.prepare()
+        n = idx.n
+        if epochs is None:
+            order = np.argsort(idx.seqs[:n], kind="stable")
+            rows = idx.rows[:n][order]
+            if since_seq is not None:
+                rows = rows[self._upd_col[rows] > since_seq]
+            return [self._view(int(r)) for r in rows], n
+        cut = int(np.searchsorted(idx.los[:n], epochs.hi, side="right"))
+        if cut == 0:
+            return [], 0
+        mask = idx.his[:cut] >= epochs.lo
+        if since_seq is not None:
+            mask &= self._upd_col[idx.rows[:cut]] > since_seq
+        sel = np.nonzero(mask)[0]
+        order = np.argsort(idx.seqs[:cut][sel], kind="stable")
+        rows = idx.rows[:cut][sel][order]
+        return [self._view(int(r)) for r in rows], cut
+
+    def topk_through(
+        self,
+        k: int,
+        key: Callable[[ColumnarRecordView], object],
+        switch: str,
+        epochs: Optional[EpochRange] = None,
+    ) -> tuple[list[ColumnarRecordView], int]:
+        """Bounded-heap top-k over the indexed scan (sharded-store API)."""
+        self._notify_read()
+        matches, scanned = self._scan_impl(switch, epochs, None)
+        return heapq.nsmallest(k, matches, key=key), scanned
+
+    def linear_flows_through(
+        self, switch: str, epochs: Optional[EpochRange] = None
+    ) -> list[ColumnarRecordView]:
+        """Reference O(N) scan (equivalence oracle, not the query path)."""
+        out = []
+        for row in self._rows.values():
+            pair = self._eps[row].get(switch)
+            if pair is None:
+                continue
+            if epochs is not None and not (
+                pair[0] <= epochs.hi and epochs.lo <= pair[1]
+            ):
+                continue
+            out.append(self._view(row))
+        return out
+
+    # -- MongoDB-substitute spill --------------------------------------------
+
+    def _row_json(self, row: int) -> dict:
+        """Flat-identical JSON document for one row (spill format)."""
+        first = self._first[row]
+        last = self._last[row]
+        return {
+            "flow": list(self._flows[row]),
+            "switch_path": list(self._paths[row]),
+            "epoch_ranges": {
+                sw: [lo, hi] for sw, (lo, hi) in self._eps[row].items()
+            },
+            "bytes_by_epoch": {
+                str(e): b for e, b in self._bbe[row].items()
+            },
+            "packets": int(self._packets[row]),
+            "bytes": int(self._bytes[row]),
+            "priority": int(self._priority[row]),
+            "first_seen": None if np.isnan(first) else float(first),
+            "last_seen": None if np.isnan(last) else float(last),
+        }
+
+    def flush_to_disk(self) -> int:
+        """Append all in-memory records to the JSON-lines spill file."""
+        if self.spill_path is None:
+            raise RuntimeError("no spill path configured")
+        self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.spill_path.open("a", encoding="utf-8") as fh:
+            for row in self._rows.values():
+                fh.write(json.dumps(self._row_json(row)) + "\n")
+                self.spilled += 1
+        return self.spilled
+
+    @classmethod
+    def load_from_disk(
+        cls,
+        host_name: str,
+        spill_path: Path,
+        *,
+        max_records: Optional[int] = None,
+    ) -> "ColumnarRecordStore":
+        """Rebuild a store from a spill file (flat supersede semantics)."""
+        store = cls(host_name, spill_path=spill_path, max_records=max_records)
+        with Path(spill_path).open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                store._adopt_json_line(line)
+        store.peak_records = max(store.peak_records, len(store._rows))
+        if max_records is not None:
+            store._evict(spill=False)
+        return store
+
+    def _adopt_json_line(self, line: str) -> None:
+        """Replay one spill-file line into the table (reload path)."""
+        self._adopt_doc(json.loads(line))
+
+    def _adopt_doc(self, doc: dict) -> bool:
+        """Adopt a spilled document; True when its flow is new here.
+
+        A later spill of the same flow supersedes the earlier one,
+        keeping its row (and so its creation seq and table position).
+        """
+        flow = FlowKey(*doc["flow"])
+        row = self._rows.get(flow)
+        new = row is None
+        if row is None:
+            row = self._alloc_row(flow)
+        else:
+            self._detach_view(row)
+            for sw in self._eps[row]:
+                idx = self._index.get(sw)
+                if idx is not None:
+                    idx.remove(row)
+        self._bytes[row] = doc["bytes"]
+        self._packets[row] = doc["packets"]
+        self._priority[row] = doc["priority"]
+        fs = doc["first_seen"]
+        self._first[row] = np.nan if fs is None else fs
+        ls = doc["last_seen"]
+        self._last[row] = np.nan if ls is None else ls
+        self._upd_col[row] = 0
+        self._paths[row] = tuple(doc["switch_path"])
+        eps = {sw: (lo, hi) for sw, (lo, hi) in doc["epoch_ranges"].items()}
+        self._eps[row] = eps
+        self._bbe[row] = {int(e): b for e, b in doc["bytes_by_epoch"].items()}
+        seq = int(self._seq_col[row])
+        for sw, (lo, hi) in eps.items():
+            self._index_for(sw).add(row, lo, hi, seq)
+        return new
+
+
+@register_backend(
+    "columnar",
+    summary="array-backed ColumnarRecordStore, vectorized epoch bisect",
+)
+def _columnar_factory(
+    host_name: str,
+    spill_path: Optional[Path],
+    max_records: Optional[int],
+    record_shards: int,
+) -> ColumnarRecordStore:
+    # record_shards is a placement knob for the sharded backend only;
+    # the columnar layout has no shards to place into
+    return ColumnarRecordStore(
+        host_name, spill_path=spill_path, max_records=max_records
+    )

@@ -76,6 +76,9 @@ class GrayFailureScenario(Scenario):
                                      "agent (>1 = sharded store)"),
             "ingest_batch": Knob(1, "sniffed packets decoded per "
                                     "ingest batch"),
+            "record_backend": Knob("auto", "record-store backend: "
+                                           "flat, sharded, columnar, "
+                                           "or auto"),
             "online": Knob(1, "diagnose through an online session "
                               "(RPCs advance simulated time; 0 = "
                               "offline zero-cost queries)"),
@@ -113,7 +116,8 @@ class GrayFailureScenario(Scenario):
                 p["rpc_latency_ms"] * 1e-3),
             records_per_host=p["records_per_host"] or None,
             record_shards=p["record_shards"],
-            ingest_batch=p["ingest_batch"])
+            ingest_batch=p["ingest_batch"],
+            record_backend=p["record_backend"])
         self.network, self.deployment = net, deploy
 
         self.affected: list[FlowKey] = []
@@ -224,6 +228,7 @@ register_sweep(SweepSpec(
         "alpha_ms": "alpha_ms",
         "shards": "record_shards",
         "batch": "ingest_batch",
+        "backend": "record_backend",
         "mix": "bg_mix",
         "skew_ms": "skew_ms",
     },

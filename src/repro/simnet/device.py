@@ -40,6 +40,9 @@ EcmpHash = Callable[[FlowKey], int]
 DropFilter = Callable[[Packet], bool]
 
 
+_flow_hash_cache: dict[FlowKey, int] = {}
+
+
 def _flow_hash(key: FlowKey) -> int:
     """Deterministic per-flow hash for ECMP (stable across runs).
 
@@ -47,7 +50,13 @@ def _flow_hash(key: FlowKey) -> int:
     in the input's parity, which makes ``hash % 2`` blind to symmetric
     field changes (e.g. sport and dport varied together) — a real ECMP
     hash must not have that artifact.
+
+    Pure function of the key, memoized process-wide: the character loop
+    runs once per flow instead of once per packet per hop.
     """
+    h = _flow_hash_cache.get(key)
+    if h is not None:
+        return h
     h = 2166136261
     for part in key:
         for ch in str(part):
@@ -55,6 +64,7 @@ def _flow_hash(key: FlowKey) -> int:
     h ^= h >> 16
     h = (h * 0x45D9F3B) & 0xFFFFFFFF
     h ^= h >> 16
+    _flow_hash_cache[key] = h
     return h
 
 
@@ -65,7 +75,10 @@ class Switch:
         self.sim = sim
         self.name = name
         self.interfaces: list[Interface] = []
-        # dst host name -> list of candidate egress interfaces (ECMP set)
+        # dst host name -> candidate egress interfaces (ECMP set).  The
+        # value is a list, or a shared immutable tuple installed by the
+        # bulk route computation (many destinations behind one leaf
+        # share one candidate set); install_route copies-on-write.
         self._fib: dict[str, list[Interface]] = {}
         self.pipeline: list[PipelineHook] = []
         self.forwarding_override: Optional[ForwardingOverride] = None
@@ -86,9 +99,23 @@ class Switch:
 
     def install_route(self, dst: str, iface: Interface) -> None:
         """Add ``iface`` to the ECMP candidate set for ``dst``."""
-        self._fib.setdefault(dst, [])
-        if iface not in self._fib[dst]:
-            self._fib[dst].append(iface)
+        cur = self._fib.get(dst)
+        if cur is None:
+            self._fib[dst] = [iface]
+            return
+        if isinstance(cur, tuple):
+            # shared bulk-installed candidate set: copy before editing
+            cur = self._fib[dst] = list(cur)
+        if iface not in cur:
+            cur.append(iface)
+
+    def set_routes(self, dst: str, ifaces) -> None:
+        """Replace the whole candidate set for ``dst`` (bulk install).
+
+        ``ifaces`` may be a tuple shared across destinations; it is
+        stored as-is and copied on the first :meth:`install_route`.
+        """
+        self._fib[dst] = ifaces
 
     def clear_routes(self) -> None:
         self._fib.clear()

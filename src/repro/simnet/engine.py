@@ -110,6 +110,33 @@ class Simulator:
         heapq.heappush(self._heap, (when, next(self._seq), handle))
         return handle
 
+    # -- fire-and-forget fast path --------------------------------------------
+
+    def call_after(self, delay: float, fn: Callable[[Any], None],
+                   arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` ``delay`` seconds from now — no handle.
+
+        The lightweight counterpart of :meth:`schedule` for the
+        per-packet hot path (serialization, propagation, CBR spacing):
+        the event is a bare ``(when, seq, fn, arg)`` tuple in the same
+        heap, so ordering and determinism are identical to
+        :meth:`schedule`, but no :class:`EventHandle` is allocated and
+        the event cannot be cancelled.  Use :meth:`schedule` whenever
+        cancellation is possible.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._seq), fn, arg))
+
+    def call_at(self, when: float, fn: Callable[[Any], None],
+                arg: Any = None) -> None:
+        """Absolute-time variant of :meth:`call_after`."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self._now}")
+        heapq.heappush(self._heap, (when, next(self._seq), fn, arg))
+
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -124,15 +151,24 @@ class Simulator:
         self._running = True
         try:
             executed = 0
-            while self._heap:
-                when, _, handle = self._heap[0]
+            heap = self._heap
+            pop = heapq.heappop
+            while heap:
+                entry = heap[0]
+                when = entry[0]
                 if until is not None and when > until:
                     break
-                heapq.heappop(self._heap)
-                if handle.cancelled:
-                    continue
-                self._now = when
-                handle.fire()
+                pop(heap)
+                if len(entry) == 4:
+                    # call_after fast-path event: (when, seq, fn, arg)
+                    self._now = when
+                    entry[2](entry[3])
+                else:
+                    handle = entry[2]
+                    if handle.cancelled:
+                        continue
+                    self._now = when
+                    handle.fire()
                 self._processed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:

@@ -92,16 +92,19 @@ class Interface:
             self.busy = False
             return
         self.busy = True
-        tx_time = pkt.size * 8 / self.link.rate_bps
-        for tap in self.tx_taps:
-            tap(pkt, self.sim.now)
+        size = pkt.size
+        tx_time = size * 8 / self.link.rate_bps
+        if self.tx_taps:
+            for tap in self.tx_taps:
+                tap(pkt, self.sim.now)
         self.tx_packets += 1
-        self.tx_bytes += pkt.size
-        self.sim.schedule(tx_time, self._finish_tx, pkt)
+        self.tx_bytes += size
+        # never cancelled → fire-and-forget fast-path events
+        self.sim.call_after(tx_time, self._finish_tx, pkt)
 
     def _finish_tx(self, pkt: Packet) -> None:
         # Deliver after propagation; free the transmitter immediately.
-        self.sim.schedule(self.link.propagation_delay, self._deliver, pkt)
+        self.sim.call_after(self.link.propagation_delay, self._deliver, pkt)
         self._start_next()
 
     def _deliver(self, pkt: Packet) -> None:

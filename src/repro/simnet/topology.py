@@ -47,6 +47,12 @@ class Network:
         self.switches: dict[str, Switch] = {}
         self.links: list[Link] = []
         self._graph: Optional[nx.Graph] = None
+        #: switch-induced subgraph + per-pair shortest-path memo; both
+        #: derive from the static physical graph, so they reset exactly
+        #: where ``_graph`` does (topology edits, not link flaps)
+        self._switch_graph: Optional[nx.Graph] = None
+        self._hosts_single_homed = False
+        self._spaths: dict[tuple[str, str], list[list[str]]] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -54,14 +60,14 @@ class Network:
         self._check_fresh_name(name)
         host = Host(self.sim, name)
         self.hosts[name] = host
-        self._graph = None
+        self._invalidate_graph()
         return host
 
     def add_switch(self, name: str) -> Switch:
         self._check_fresh_name(name)
         sw = Switch(self.sim, name)
         self.switches[name] = sw
-        self._graph = None
+        self._invalidate_graph()
         return sw
 
     def connect(self, a: Node, b: Node, *, rate_bps: float = 1e9,
@@ -75,8 +81,14 @@ class Network:
             node.attach(iface)
         link.vlan_id = len(self.links)  # network-local 12-bit wire id
         self.links.append(link)
-        self._graph = None
+        self._invalidate_graph()
         return link
+
+    def _invalidate_graph(self) -> None:
+        self._graph = None
+        self._switch_graph = None
+        self._hosts_single_homed = False
+        self._spaths.clear()
 
     def _check_fresh_name(self, name: str) -> None:
         if name in self.hosts or name in self.switches:
@@ -135,6 +147,16 @@ class Network:
             for link in self.links:
                 g.add_edge(link.a.name, link.b.name, link=link)
             self._graph = g
+            sub = nx.Graph()
+            sub.add_nodes_from(self.switches)
+            for link in self.links:
+                if link.a.name in self.switches and link.b.name in self.switches:
+                    sub.add_edge(link.a.name, link.b.name)
+            self._switch_graph = sub
+            self._hosts_single_homed = all(
+                g.degree(h) == 1 and next(iter(g[h])) in self.switches
+                for h in self.hosts
+            )
         return self._graph
 
     def live_graph(self) -> nx.Graph:
@@ -154,9 +176,38 @@ class Network:
         return g
 
     def shortest_paths(self, src: str, dst: str) -> list[list[str]]:
-        """All shortest src→dst node-name paths (deterministic order)."""
-        paths = nx.all_shortest_paths(self.graph(), src, dst)
-        return sorted(paths)
+        """All shortest src→dst node-name paths (deterministic order).
+
+        Host→host queries decompose through the switch fabric: when
+        every host hangs off exactly one switch (true for all the
+        builders here), a degree-1 host can never be a transit node, so
+        each shortest path is exactly ``[src] + P + [dst]`` with ``P``
+        ranging over the shortest paths between the two attachment
+        switches in the switch-only subgraph.  That turns a BFS over the
+        whole fabric (65k+ nodes on large leaf-spines) into one over the
+        few dozen switches.  Multi-homed or host-to-switch queries fall
+        back to the full-graph enumeration.  Results are memoized per
+        (src, dst); topology edits reset the memo along with the cached
+        physical graph.
+        """
+        key = (src, dst)
+        cached = self._spaths.get(key)
+        if cached is None:
+            cached = self._spaths[key] = self._shortest_paths_uncached(src, dst)
+        return [list(p) for p in cached]
+
+    def _shortest_paths_uncached(self, src: str, dst: str) -> list[list[str]]:
+        g = self.graph()  # also (re)builds the switch subgraph caches
+        if (self._hosts_single_homed and src != dst
+                and src in self.hosts and dst in self.hosts):
+            sa = next(iter(g[src]))
+            sb = next(iter(g[dst]))
+            if sa == sb:
+                return [[src, sa, dst]]
+            assert self._switch_graph is not None
+            middles = nx.all_shortest_paths(self._switch_graph, sa, sb)
+            return sorted([src, *p, dst] for p in middles)
+        return sorted(nx.all_shortest_paths(g, src, dst))
 
     def path_through_link(self, src: str, dst: str,
                           link: Link) -> Optional[list[str]]:
@@ -197,7 +248,16 @@ class Network:
         is the destination itself, one dict probe), which is what keeps
         multi-thousand-host fabrics buildable in seconds where the old
         all-pairs × all-links scan took minutes.
+
+        When every host is single-homed (all the builders), the
+        dedicated fast path below cuts this further — switch-only BFS
+        and one shared ECMP candidate tuple per (switch, attach-switch)
+        pair — which is what makes 65536-host fabrics routable in
+        seconds.  Both paths install identical candidate sets in
+        identical order.
         """
+        if self._compute_routes_fast():
+            return
         g = self.live_graph()
         dist = {name: nx.single_source_shortest_path_length(g, name)
                 for name in self.switches}
@@ -234,6 +294,82 @@ class Network:
                 for peer, link in switch_links:
                     if dist[peer].get(dst) == d_here - 1:
                         sw.install_route(dst, link.iface_of(sw))
+
+    def _compute_routes_fast(self) -> bool:
+        """Single-homed fast path for :meth:`compute_routes`.
+
+        Applies when no host has more than one live link and no link
+        joins two hosts (true of every builder).  Then a host is a leaf
+        of the graph — never an interior node of a shortest path — so
+        switch-to-switch distances fully determine routing, and every
+        destination behind the same attach switch shares one ECMP
+        candidate set per forwarding switch.  Installs exactly what the
+        generic path would: same candidates, same creation order.
+        Returns False (installing nothing) when the precondition fails.
+        """
+        switches = self.switches
+        #: host -> (attach switch, link); live links only, like the
+        #: generic path's live_graph
+        attach: dict[str, tuple[str, Link]] = {}
+        sw_adj: dict[str, list[tuple[str, Link]]] = \
+            {name: [] for name in switches}
+        for link in self.links:
+            if not link.up:
+                continue
+            an, bn = link.a.name, link.b.name
+            a_is_sw = an in switches
+            b_is_sw = bn in switches
+            if a_is_sw and b_is_sw:
+                sw_adj[an].append((bn, link))
+                sw_adj[bn].append((an, link))
+            elif a_is_sw or b_is_sw:
+                hname, swname = (bn, an) if a_is_sw else (an, bn)
+                if hname in attach:
+                    return False  # multi-homed host
+                attach[hname] = (swname, link)
+            else:
+                return False  # host-host link
+        by_switch: dict[str, list[str]] = {}
+        for host in self.hosts:
+            info = attach.get(host)
+            if info is not None:
+                by_switch.setdefault(info[0], []).append(host)
+        # BFS over the switch subgraph only
+        sdist: dict[str, dict[str, int]] = {}
+        for name in switches:
+            d = {name: 0}
+            frontier = [name]
+            hops = 0
+            while frontier:
+                hops += 1
+                nxt = []
+                for u in frontier:
+                    for v, _ in sw_adj[u]:
+                        if v not in d:
+                            d[v] = hops
+                            nxt.append(v)
+                frontier = nxt
+            sdist[name] = d
+        for sw_name, sw in switches.items():
+            sw.clear_routes()
+            d_sw = sdist[sw_name]
+            adj = sw_adj[sw_name]
+            for leaf, dsts in by_switch.items():
+                if leaf == sw_name:
+                    for dst in dsts:
+                        sw.set_routes(dst,
+                                      [attach[dst][1].iface_of(sw)])
+                    continue
+                d_leaf = d_sw.get(leaf)
+                if d_leaf is None:
+                    continue
+                want = d_leaf - 1
+                shared = tuple(
+                    link.iface_of(sw) for peer, link in adj
+                    if sdist[peer].get(leaf) == want)
+                if shared:
+                    sw._fib.update(dict.fromkeys(dsts, shared))
+        return True
 
     def set_link_state(self, a: str, b: str, up: bool, *,
                        reconverge: bool = True) -> Link:

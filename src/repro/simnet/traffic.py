@@ -17,8 +17,8 @@ from typing import Callable, Optional
 
 from .engine import Simulator
 from .host import Host
-from .packet import (DEFAULT_MTU, PRIO_HIGH, PRIO_LOW, PROTO_UDP, FlowKey,
-                     Packet, make_udp)
+from .packet import (DEFAULT_MTU, HEADER_BYTES, PRIO_HIGH, PRIO_LOW,
+                     PROTO_UDP, FlowKey, Packet)
 from .tcp import TcpReceiver, TcpSender, open_tcp_flow
 
 
@@ -68,22 +68,24 @@ class UdpCbrSource:
         self.end_time = start + duration
         self.packets_sent = 0
         self.bytes_sent = 0
-        sim.schedule_at(max(start, sim.now), self._emit)
+        self._payload = max(0, packet_size - HEADER_BYTES)
+        sim.call_at(max(start, sim.now), self._emit)
 
     @property
     def interval(self) -> float:
         return self.packet_size * 8 / self.rate_bps
 
-    def _emit(self) -> None:
+    def _emit(self, _arg: object = None) -> None:
         if self.sim.now >= self.end_time:
             return
-        key = self.flow
-        pkt = make_udp(key.src, key.dst, key.sport, key.dport,
-                       self.packet_size, priority=self.priority)
+        # direct construction with the cached FlowKey/payload — this is
+        # make_udp minus the per-packet 5-tuple rebuild
+        pkt = Packet(flow=self.flow, size=self.packet_size,
+                     priority=self.priority, payload_bytes=self._payload)
         self.host.send(pkt)
         self.packets_sent += 1
         self.bytes_sent += self.packet_size
-        self.sim.schedule(self.interval, self._emit)
+        self.sim.call_after(self.interval, self._emit)
 
 
 @dataclass

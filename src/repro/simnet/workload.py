@@ -44,7 +44,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from .packet import DEFAULT_MTU, PRIO_LOW, PROTO_UDP, FlowKey, Packet, make_udp
+from .packet import (DEFAULT_MTU, HEADER_BYTES, PRIO_LOW, PROTO_UDP, FlowKey,
+                     Packet)
 from .topology import Network
 from .traffic import UdpCbrSource, UdpSink
 
@@ -324,33 +325,47 @@ class BackgroundTraffic:
             self._heap.append((max(p.start, now), i))
         heapq.heapify(self._heap)
         if self._heap:
-            self.sim.schedule_at(self._heap[0][0], self._pump)
+            self.sim.call_at(self._heap[0][0], self._pump)
 
     def _on_delivery(self, _pkt: Packet, _now: float) -> None:
         self.delivered += 1
 
-    def _pump(self) -> None:
+    def _pump(self, _arg: object = None) -> None:
         """Emit every due packet, then sleep until the next one."""
         if self._stopped:
             return
         heap = self._heap
         now = self.sim.now
         hosts = self.network.hosts
-        while heap and heap[0][0] <= now + 1e-12:
-            t, i = heapq.heappop(heap)
-            p = self.plans[i]
-            key = p.flow
-            psize = self._psize[i]
-            pkt = make_udp(key.src, key.dst, key.sport, key.dport,
-                           psize, priority=self.spec.priority)
+        plans = self.plans
+        psizes = self._psize
+        remaining = self._remaining
+        intervals = self._interval
+        priority = self.spec.priority
+        pop = heapq.heappop
+        push = heapq.heappush
+        sent = 0
+        nbytes = 0
+        cutoff = now + 1e-12
+        while heap and heap[0][0] <= cutoff:
+            t, i = pop(heap)
+            key = plans[i].flow
+            psize = psizes[i]
+            # direct construction with the planned FlowKey — make_udp
+            # minus the per-packet 5-tuple rebuild
+            pkt = Packet(flow=key, size=psize, priority=priority,
+                         payload_bytes=psize - HEADER_BYTES
+                         if psize > HEADER_BYTES else 0)
             hosts[key.src].send(pkt)
-            self.packets_sent += 1
-            self.bytes_sent += psize
-            self._remaining[i] -= 1
-            if self._remaining[i] > 0:
-                heapq.heappush(heap, (t + self._interval[i], i))
+            sent += 1
+            nbytes += psize
+            remaining[i] -= 1
+            if remaining[i] > 0:
+                push(heap, (t + intervals[i], i))
+        self.packets_sent += sent
+        self.bytes_sent += nbytes
         if heap:
-            self.sim.schedule_at(heap[0][0], self._pump)
+            self.sim.call_at(heap[0][0], self._pump)
 
     def stop(self) -> None:
         """Cancel all pending emissions."""

@@ -1,0 +1,236 @@
+"""Property tests: the columnar store is observably identical to the
+object-based stores.
+
+The array-backed :class:`ColumnarRecordStore` claims to be a drop-in
+for the flat :class:`FlowRecordStore` (the equivalence reference) and
+the :class:`ShardedRecordStore`.  These properties drive all backends
+through the *same* arbitrary interleaving of ingests, disk flushes,
+crash losses and spill-file reloads — with and without an eviction
+bound — and require every observable to agree:
+
+* ``scan_through`` / ``flows_matching`` / ``top_k_flows`` payloads,
+  in order, for unwindowed, windowed and ``since_seq`` delta variants;
+* ``records_scanned`` (it feeds the RPC latency model) and the
+  ``as_of_seq`` watermark;
+* the ``peak_records`` / ``spilled`` / ``evicted`` / ``ingested``
+  counters and the table length;
+* the spill files themselves, byte for byte (flat vs columnar; the
+  sharded store orders *eviction* spills by shard, so its file is only
+  compared when no eviction bound is active).
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.epoch import EpochRange
+from repro.hostd.columnar import ColumnarRecordStore
+from repro.hostd.query import QueryEngine
+from repro.hostd.records import FlowRecordStore
+from repro.hostd.sharded import ShardedRecordStore
+from repro.simnet.packet import FlowKey, PROTO_UDP
+
+SWITCH_SETS = (("S1",), ("S2",), ("S1", "S2"), ("S2", "S3"))
+N_SHARDS = 4
+
+
+def flow_key(i: int) -> FlowKey:
+    return FlowKey(f"s{i}", "dst", 1000 + i, 9, PROTO_UDP)
+
+
+def _make(layout, spill, bound):
+    if layout == "flat":
+        return FlowRecordStore("h", spill_path=spill, max_records=bound)
+    if layout == "sharded":
+        return ShardedRecordStore("h", spill_path=spill,
+                                  max_records=bound, n_shards=N_SHARDS)
+    return ColumnarRecordStore("h", spill_path=spill, max_records=bound)
+
+
+def _load(layout, spill, bound):
+    if layout == "flat":
+        return FlowRecordStore.load_from_disk("h", spill,
+                                              max_records=bound)
+    if layout == "sharded":
+        return ShardedRecordStore.load_from_disk("h", spill,
+                                                 max_records=bound,
+                                                 n_shards=N_SHARDS)
+    return ColumnarRecordStore.load_from_disk("h", spill,
+                                              max_records=bound)
+
+
+# -- interleaving scripts ----------------------------------------------------
+
+OP_KINDS = ("ingest",) * 6 + ("flush", "crash", "reload")
+
+
+@st.composite
+def interleaving(draw, *, with_reload=True):
+    """Ops (ingest/flush/crash/reload) + delta-query cut positions."""
+    kinds = OP_KINDS if with_reload else OP_KINDS[:-1]
+    n = draw(st.integers(min_value=2, max_value=40))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(kinds))
+        if kind == "ingest":
+            ops.append(("ingest",
+                        draw(st.integers(min_value=0, max_value=9)),
+                        draw(st.sampled_from(SWITCH_SETS)),
+                        draw(st.integers(min_value=0, max_value=5))))
+        else:
+            ops.append((kind,))
+    cuts = sorted(draw(st.lists(st.integers(min_value=0, max_value=n),
+                                min_size=0, max_size=3)))
+    return ops, cuts
+
+
+def _apply(layout, store, op, spill, bound, idx):
+    """One script op; returns the (possibly replaced) store."""
+    if op[0] == "ingest":
+        _, i, switches, lo = op
+        store.ingest(flow_key(i), nbytes=100 * (i + 1),
+                     t=0.001 * (idx + 1), priority=i % 2,
+                     switch_path=list(switches),
+                     ranges={sw: EpochRange(lo, lo + 1)
+                             for sw in switches},
+                     observed_epoch=lo)
+    elif op[0] == "flush":
+        store.flush_to_disk()
+    elif op[0] == "crash":
+        store.drop_all()
+    elif op[0] == "reload":
+        # only meaningful once something reached disk; whether the file
+        # exists is identical across backends (same deterministic ops)
+        if spill.exists():
+            store = _load(layout, spill, bound)
+    return store
+
+
+# -- observations ------------------------------------------------------------
+
+def _snap(rec):
+    """Backend-neutral projection of one record/view."""
+    return (rec.flow, rec.bytes, rec.packets, rec.priority,
+            rec.first_seen, rec.last_seen, tuple(rec.switch_path),
+            {sw: (r.lo, r.hi) for sw, r in rec.epoch_ranges.items()},
+            dict(rec.bytes_by_epoch))
+
+
+WINDOWS = (None, EpochRange(1, 3), EpochRange(2, 4))
+
+
+def _observe(store, since):
+    """The full query battery against the store's current state."""
+    eng = QueryEngine(store)
+    obs = []
+    for switch in ("S1", "S2", "S3"):
+        for epochs in WINDOWS:
+            recs, scanned = store.scan_through(switch, epochs)
+            obs.append(("scan", switch, epochs,
+                        [_snap(r) for r in recs], scanned))
+        res = eng.flows_matching(switch, since_seq=since)
+        obs.append(("delta", switch, list(res.payload),
+                    res.records_scanned, res.as_of_seq))
+        top = eng.top_k_flows(3, switch=switch)
+        obs.append(("topk", switch, list(top.payload),
+                    top.records_scanned))
+        win = eng.top_k_flows(2, switch=switch, epochs=EpochRange(0, 2))
+        obs.append(("topk-win", switch, list(win.payload),
+                    win.records_scanned))
+    obs.append(("counters", len(store), store.peak_records,
+                store.spilled, store.evicted, store.ingested))
+    return obs, store.ingested
+
+
+def _run(layout, ops, cuts, tmpdir, bound):
+    """Drive one backend through the script; return all observations."""
+    spill = Path(tmpdir) / f"{layout}.jsonl"
+    store = _make(layout, spill, bound)
+    obs = []
+    since = None
+    cutset = set(cuts)
+    for idx, op in enumerate(ops):
+        if idx in cutset:
+            round_obs, since = _observe(store, since)
+            obs.append(round_obs)
+        store = _apply(layout, store, op, spill, bound, idx)
+    round_obs, _ = _observe(store, since)
+    obs.append(round_obs)
+    spill_bytes = spill.read_bytes() if spill.exists() else b""
+    return obs, spill_bytes
+
+
+# -- the properties ----------------------------------------------------------
+
+@given(script=interleaving())
+@settings(max_examples=40, deadline=None)
+def test_three_way_equivalence_unbounded(script):
+    """No memory bound: flat, sharded and columnar agree on every
+    observable — queries, counters, and the spill file bytes."""
+    ops, cuts = script
+    with tempfile.TemporaryDirectory() as tmp:
+        flat_obs, flat_spill = _run("flat", ops, cuts, tmp, None)
+        shard_obs, shard_spill = _run("sharded", ops, cuts, tmp, None)
+        col_obs, col_spill = _run("columnar", ops, cuts, tmp, None)
+    assert col_obs == flat_obs
+    assert shard_obs == flat_obs
+    assert col_spill == flat_spill
+    assert shard_spill == flat_spill
+
+
+@given(script=interleaving())
+@settings(max_examples=40, deadline=None)
+def test_flat_columnar_equivalence_under_eviction(script):
+    """With a memory bound the columnar store evicts the same victims,
+    spills the same bytes in the same order, and reloads to the same
+    table as the flat reference."""
+    ops, cuts = script
+    with tempfile.TemporaryDirectory() as tmp:
+        flat_obs, flat_spill = _run("flat", ops, cuts, tmp, 4)
+        col_obs, col_spill = _run("columnar", ops, cuts, tmp, 4)
+    assert col_obs == flat_obs
+    assert col_spill == flat_spill
+
+
+@given(script=interleaving(with_reload=False))
+@settings(max_examples=40, deadline=None)
+def test_three_way_in_memory_equivalence_under_eviction(script):
+    """All three backends pick identical eviction victims under the
+    global bound, so their in-memory observables stay identical (the
+    sharded store's spill file groups victims by shard, so only its
+    in-memory state is compared here)."""
+    ops, cuts = script
+    with tempfile.TemporaryDirectory() as tmp:
+        flat_obs, flat_spill = _run("flat", ops, cuts, tmp, 4)
+        shard_obs, _ = _run("sharded", ops, cuts, tmp, 4)
+        col_obs, col_spill = _run("columnar", ops, cuts, tmp, 4)
+    assert col_obs == flat_obs
+    assert shard_obs == flat_obs
+    assert col_spill == flat_spill
+
+
+@pytest.mark.parametrize("layout", ["flat", "sharded", "columnar"])
+def test_since_seq_excludes_older_records(layout):
+    """The delta-query watermark contract holds on every backend."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = _make(layout, Path(tmp) / "s.jsonl", None)
+        _apply(layout, store, ("ingest", 0, ("S1",), 0), None, None, 0)
+        seq = QueryEngine(store).flows_matching("S1").as_of_seq
+        _apply(layout, store, ("ingest", 1, ("S1",), 0), None, None, 1)
+        res = QueryEngine(store).flows_matching("S1", since_seq=seq)
+        assert [s.flow for s in res.payload] == [flow_key(1)]
+
+
+@pytest.mark.parametrize("layout", ["flat", "sharded", "columnar"])
+def test_updated_record_reappears_in_the_next_delta(layout):
+    """An update to an already-reported flow crosses the watermark."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = _make(layout, Path(tmp) / "s.jsonl", None)
+        _apply(layout, store, ("ingest", 0, ("S1",), 0), None, None, 0)
+        seq = QueryEngine(store).flows_matching("S1").as_of_seq
+        _apply(layout, store, ("ingest", 0, ("S1",), 3), None, None, 1)
+        res = QueryEngine(store).flows_matching("S1", since_seq=seq)
+        assert [s.flow for s in res.payload] == [flow_key(0)]
+        assert res.payload[0].packets == 2

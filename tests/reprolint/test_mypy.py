@@ -21,6 +21,8 @@ TYPED_CORE = (
     "src/repro/analyzer",
     "src/repro/scenarios/base.py",
     "src/repro/simnet/workload.py",
+    "src/repro/hostd/columnar.py",
+    "src/repro/hostd/backends.py",
 )
 
 

@@ -1,0 +1,32 @@
+"""Scenario-level backend equivalence (the columnar acceptance bar).
+
+The record-store backend is a pure performance knob: switching every
+host agent onto the array-backed :class:`ColumnarRecordStore` must not
+change a single diagnosis.  Each registered scenario runs twice at its
+smoke knobs with the same seeds — once on the historical object-based
+default, once under ``use_backend("columnar")`` — and the verdicts
+(including culprits, suspects, narratives and the RPC latency
+breakdowns, which charge per record scanned) and the fault-plan
+statuses must be identical.
+"""
+
+import pytest
+
+from repro.hostd.backends import use_backend
+from repro.scenarios import REGISTRY, run_scenario
+
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_columnar_backend_reproduces_reference_diagnosis(name):
+    spec = REGISTRY.get(name).spec
+    ref = run_scenario(name, **spec.smoke_knobs)
+    with use_backend("columnar"):
+        col = run_scenario(name, **spec.smoke_knobs)
+    assert col.verdicts == ref.verdicts
+    assert (col.measurements.get("fault_plan")
+            == ref.measurements.get("fault_plan"))
+    # the diagnosis cost model must agree too, not just the answer
+    assert col.sim_time == ref.sim_time
+    for cv, rv in zip(col.verdicts, ref.verdicts):
+        assert cv.breakdown.parts == rv.breakdown.parts
+        assert cv.status == rv.status

@@ -1,0 +1,87 @@
+"""Pin the switch-subgraph shortest-path decomposition to the full BFS.
+
+``Network.shortest_paths`` decomposes host→host queries through a
+cached switch-only subgraph whenever every host is single-homed to a
+switch (see docs/PERFORMANCE.md).  These tests assert the decomposed
+answers — including sort order, memoized re-queries and the
+NetworkXNoPath failure mode — are bit-identical to the brute-force
+full-graph enumeration on every builder fabric, and that fabrics
+violating the precondition fall back to the brute-force path.
+"""
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.simnet.topology import (
+    Network,
+    build_fat_tree,
+    build_leaf_spine,
+    build_linear,
+    build_star,
+)
+
+
+def _brute(net: Network, src: str, dst: str) -> list[list[str]]:
+    return sorted(nx.all_shortest_paths(net.graph(), src, dst))
+
+
+def _query(fn, src: str, dst: str):
+    try:
+        return fn(src, dst)
+    except nx.NetworkXException as exc:
+        return ("raises", type(exc).__name__)
+
+
+def _assert_equivalent(net: Network) -> None:
+    nodes = sorted(net.hosts) + sorted(net.switches)
+    for src, dst in itertools.product(nodes, repeat=2):
+        want = _query(lambda a, b: _brute(net, a, b), src, dst)
+        got = _query(net.shortest_paths, src, dst)
+        assert got == want, (src, dst)
+        # the memoized re-query must agree even after callers mutate
+        # the previously returned lists
+        if isinstance(got, list) and got:
+            got[0].append("mutated-by-caller")
+        assert _query(net.shortest_paths, src, dst) == want, (src, dst)
+
+
+@pytest.mark.parametrize("build", [
+    pytest.param(lambda: build_leaf_spine(4, 2, 3), id="leaf_spine"),
+    pytest.param(lambda: build_fat_tree(4), id="fat_tree"),
+    pytest.param(lambda: build_star(6), id="star"),
+    pytest.param(lambda: build_linear(4, hosts_per_switch=2), id="linear"),
+])
+def test_builder_fabrics_match_brute_force(build) -> None:
+    net = build()
+    _assert_equivalent(net)
+    assert net._hosts_single_homed  # the fast path actually engaged
+
+
+def test_host_to_host_wire_falls_back_to_full_graph() -> None:
+    net = Network()
+    for name in ("h0", "h1", "h2", "h3"):
+        net.add_host(name)
+    net.add_switch("s0")
+    net.connect(net.node("h0"), net.node("s0"))
+    net.connect(net.node("h1"), net.node("s0"))
+    net.connect(net.node("h2"), net.node("h3"))  # host-host wire
+    _assert_equivalent(net)
+    net.graph()
+    assert not net._hosts_single_homed
+
+
+def test_topology_edits_reset_the_path_memo() -> None:
+    net = build_leaf_spine(4, 2, 2)
+    before = net.shortest_paths("h0_0", "h1_0")
+    net.add_host("hx")
+    assert net._spaths == {} and net._graph is None
+    net.connect(net.node("hx"), net.node("leaf0"))
+    assert net.shortest_paths("h0_0", "h1_0") == before
+    assert net.shortest_paths("hx", "h1_0") == [
+        [src, *mid, "h1_0"]
+        for src, mid in [("hx", p[1:-1]) for p in net.shortest_paths(
+            "h0_0", "h1_0")]
+    ]

@@ -66,7 +66,10 @@ class TestMultiFaultSweep:
 class TestNightlyPoints:
     def test_extra_points_append_after_the_grid(self):
         spec = SWEEPS.get("incast-scale")
-        assert spec.nightly_points == ({"hosts": 4096, "flows": 2000},)
+        assert spec.nightly_points == (
+            {"hosts": 4096, "flows": 2000},
+            {"hosts": 65536, "flows": 100000, "backend": "columnar"},
+        )
         sweep = Sweep(spec, {"hosts": [64], "flows": [200]},
                       workers=1,
                       extra_points=[{"hosts": 128, "flows": 300}])
@@ -83,6 +86,7 @@ class TestNightlyPoints:
     def test_budget_note_declared_for_the_top_end(self):
         spec = SWEEPS.get("incast-scale")
         assert spec.budget_note and "4096" in spec.budget_note
+        assert "65536" in spec.budget_note and "100000" in spec.budget_note
 
     def test_registration_rejects_undeclared_point_axis(self):
         with pytest.raises(SweepError, match="nightly_points"):

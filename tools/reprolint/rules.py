@@ -52,6 +52,8 @@ TYPED_CORE = (
     f"{SRC}/analyzer",
     f"{SRC}/scenarios/base.py",
     f"{SRC}/simnet/workload.py",
+    f"{SRC}/hostd/columnar.py",
+    f"{SRC}/hostd/backends.py",
 )
 
 #: Registry packages whose ``__init__.py`` must import every
@@ -61,6 +63,7 @@ REGISTRY_PACKAGES = (
     f"{SRC}/faults",
     f"{SRC}/sweep",
     f"{SRC}/experiment",
+    f"{SRC}/hostd",
 )
 
 
@@ -692,7 +695,8 @@ class FaultProtocol(Rule):
 # ---------------------------------------------------------------------------
 
 _REGISTER_DECORATORS = {"register", "register_fault"}
-_REGISTER_CALLS = {"register_sweep", "register_experiment"}
+_REGISTER_CALLS = {"register_sweep", "register_experiment",
+                   "register_backend"}
 
 
 def _registers_something(
@@ -735,7 +739,7 @@ class RegistryCoverage(Rule):
         "nightly driver, and the generated catalogues, with no error "
         "anywhere.",
         scope="src/repro/scenarios/, src/repro/faults/, "
-        "src/repro/sweep/, src/repro/experiment/",
+        "src/repro/sweep/, src/repro/experiment/, src/repro/hostd/",
         pragma=None,
         fix="Import the module from the package __init__.py (the "
         "catalogue aggregator), the way every sibling module is.",
@@ -943,7 +947,8 @@ class TypedDefs(Rule):
         "environment — including ones without mypy installed.",
         scope="src/repro/sweep/, src/repro/faults/, "
         "src/repro/analyzer/, src/repro/scenarios/base.py, "
-        "src/repro/simnet/workload.py",
+        "src/repro/simnet/workload.py, src/repro/hostd/columnar.py, "
+        "src/repro/hostd/backends.py",
         pragma=None,
         fix="Annotate every parameter (typing.Any is acceptable where "
         "the value is genuinely dynamic) and the return type; "
