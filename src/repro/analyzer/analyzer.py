@@ -27,6 +27,7 @@ import networkx as nx
 
 from ..core.epoch import EpochRange
 from ..core.mphf import HostDirectory
+from ..core.pointer import PointerSnapshot
 from ..hostd.agent import HostAgent
 from ..hostd.query import FlowSummary, QueryResult
 from ..hostd.triggers import VictimAlert
@@ -56,14 +57,27 @@ class Analyzer:
                  switch_agents: dict[str, SwitchAgent],
                  host_agents: dict[str, HostAgent],
                  rpc: Optional[RpcFabric] = None,
-                 control_store: Optional[ControlPlaneStore] = None):
+                 control_store: Optional[ControlPlaneStore] = None,
+                 directory_backend: str = "exact"):
         self.network = network
         self.directory = directory
         self.switch_agents = switch_agents
         self.host_agents = host_agents
         self.rpc = rpc if rpc is not None else RpcFabric()
         self.control_store = control_store
+        #: registry name of the switches' directory backend; anything
+        #: but "exact" means pointer answers are supersets and verdicts
+        #: built from them carry the ``approx`` evidence label
+        self.directory_backend = directory_backend
         self.alerts: list[VictimAlert] = []
+        # false-positive accounting for sketch directories: slots a
+        # query returned that the shadow truth says were never set,
+        # over the negatives each query tested (measurement only —
+        # query answers never consult the truth)
+        self.dir_queries = 0
+        self.dir_approx_queries = 0
+        self.dir_false_positive_slots = 0
+        self.dir_negative_slots = 0
         # topology cache (§4.3 pruning): per-source shortest-path link
         # sets, computed with one BFS per source per topology version
         self._topo_graph: Optional[nx.Graph] = None
@@ -161,13 +175,62 @@ class Analyzer:
                 raise KeyError(switch)
             return sorted(self.host_agents)
         if offline:
-            slots = agent.offline_slots(epochs.lo, epochs.hi)
+            snaps = agent.offline_snapshots(epochs.lo, epochs.hi)
         elif level is None:
-            slots, _source = agent.best_effort_slots(epochs.lo, epochs.hi)
+            snaps, _source = agent.best_effort_snapshots(epochs.lo,
+                                                         epochs.hi)
         else:
-            slots = agent.pull_hosts_slots(epochs.lo, epochs.hi,
-                                           level=level)
-        return self.directory.hosts_of(slots)
+            snaps = agent.pull(level, epochs.lo, epochs.hi)
+        return self.directory.hosts_of(self._score_slots(snaps))
+
+    def _score_slots(self, snaps: Sequence[PointerSnapshot]) -> set[int]:
+        """Union the snapshots' slots, scoring sketches as we go.
+
+        A sketch answer is a superset of the truth (registration
+        enforces that); the shadow-truth bitmaps each snapshot carries
+        let us count how many of the slots a query *could* have
+        wrongly returned actually were (the false-positive rate the
+        ``directory-bits`` sweep charts).  The returned answer never
+        consults the truth — it is exactly what a real deployment,
+        which has no truth bitmap, would act on.
+        """
+        slots: set[int] = set()
+        approx = False
+        for snap in snaps:
+            slots.update(snap.slots())
+            if snap.backend != "exact":
+                approx = True
+        self.dir_queries += 1
+        if approx:
+            self.dir_approx_queries += 1
+            truth: set[int] = set()
+            for snap in snaps:
+                truth.update(snap.true_slots())
+            n = self.directory.n
+            self.dir_false_positive_slots += len(slots - truth)
+            self.dir_negative_slots += n - len(truth)
+        return slots
+
+    @property
+    def directory_approx(self) -> bool:
+        """True when switch pointers come from a lossy sketch backend."""
+        return self.directory_backend != "exact"
+
+    def directory_stats(self) -> dict[str, float]:
+        """Cumulative sketch-accuracy counters (sweep measurements).
+
+        ``fpr`` is false-positive slots over negative slots across all
+        pointer queries so far — 0.0 for the exact backend and for
+        saturating sketch budgets, rising as ``directory_bits`` shrinks.
+        """
+        neg = self.dir_negative_slots
+        return {
+            "queries": float(self.dir_queries),
+            "approx_queries": float(self.dir_approx_queries),
+            "false_positive_slots": float(self.dir_false_positive_slots),
+            "negative_slots": float(neg),
+            "fpr": self.dir_false_positive_slots / neg if neg else 0.0,
+        }
 
     def locate_relevant_hosts(self, alert: VictimAlert, *, level: int = 1,
                               prune: bool = True, offline: bool = False

@@ -33,9 +33,11 @@ extended fault catalogue (§2.4's "many other problems" claim):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..core.epoch import EpochRange
+from ..core.pointer import PointerSnapshot
+from ..directory import DirectorySet, LshDirectorySet, decode_directory_set
 from ..hostd.triggers import VictimAlert
 from ..rpc.fabric import Breakdown
 from ..simnet.packet import FlowKey
@@ -85,10 +87,25 @@ class Verdict:
     #: hosts that failed to answer during the session (evidence gaps);
     #: non-empty exactly when ``status == "degraded"``
     missing_hosts: list[str] = field(default_factory=list)
+    #: evidence label: True when the switch pointers behind this verdict
+    #: came from a lossy sketch backend (:mod:`repro.directory`) — the
+    #: host lists consulted were *supersets* of the truth, so the
+    #: conclusion stands but may have cost extra host queries
+    approx: bool = False
+    #: switches whose directory contents most resemble the suspect's
+    #: over the diagnosis window (:func:`rank_co_suspects`), most
+    #: similar first — empty when no suspect was localized
+    co_suspects: list[str] = field(default_factory=list)
 
     @property
     def total_time_s(self) -> float:
         return self.breakdown.total
+
+
+def _stamp_approx(analyzer: Analyzer, verdict: Verdict) -> Verdict:
+    """Label the verdict when sketch directories supplied its pointers."""
+    verdict.approx = analyzer.directory_approx
+    return verdict
 
 
 def _overlap(a: Optional[EpochRange],
@@ -142,9 +159,10 @@ def diagnose_contention(analyzer: Analyzer, alert: VictimAlert, *,
         + ("high-priority traffic starved the victim"
            if priority_based else
            "equal-priority burst overflowed the queue (microburst)"))
-    return Verdict(problem=problem, victim=alert.flow, culprits=culprits,
-                   breakdown=bd, hosts_consulted=sorted(consulted),
-                   narrative=narrative)
+    return _stamp_approx(analyzer, Verdict(
+        problem=problem, victim=alert.flow, culprits=culprits,
+        breakdown=bd, hosts_consulted=sorted(consulted),
+        narrative=narrative))
 
 
 def _victim_priority(analyzer: Analyzer, alert: VictimAlert) -> int:
@@ -176,10 +194,10 @@ def diagnose_red_lights(analyzer: Analyzer,
         f"at {sw}: " + ", ".join(c.flow.pretty() for c in cs)
         for sw, cs in sorted(multi.items()))
         or "no contention found on the path")
-    return Verdict(problem="too-many-red-lights", victim=alert.flow,
-                   culprits=base.culprits, breakdown=base.breakdown,
-                   hosts_consulted=base.hosts_consulted,
-                   narrative=narrative)
+    return _stamp_approx(analyzer, Verdict(
+        problem="too-many-red-lights", victim=alert.flow,
+        culprits=base.culprits, breakdown=base.breakdown,
+        hosts_consulted=base.hosts_consulted, narrative=narrative))
 
 
 # ---------------------------------------------------------------------------
@@ -244,11 +262,11 @@ def diagnose_cascade(analyzer: Analyzer, alert: VictimAlert, *,
         current_prio = best.priority
 
     names = " <- ".join(f.pretty() for f in chain)
-    return Verdict(problem="traffic-cascade", victim=alert.flow,
-                   culprits=culprits, breakdown=bd,
-                   hosts_consulted=sorted(consulted),
-                   cascade_chain=chain,
-                   narrative=f"cascade chain: {names}")
+    return _stamp_approx(analyzer, Verdict(
+        problem="traffic-cascade", victim=alert.flow,
+        culprits=culprits, breakdown=bd,
+        hosts_consulted=sorted(consulted), cascade_chain=chain,
+        narrative=f"cascade chain: {names}"))
 
 
 def _alert_for_flow(analyzer: Analyzer, flow: FlowKey, host: str,
@@ -294,9 +312,10 @@ def diagnose_load_imbalance(analyzer: Analyzer, switch: str, *,
             merged.setdefault(egress, []).extend(sizes)
 
     imbalanced, narrative = _separation_verdict(merged, size_threshold)
-    return Verdict(problem="load-imbalance", victim=None, breakdown=bd,
-                   hosts_consulted=sorted(hosts), imbalanced=imbalanced,
-                   distribution=merged, narrative=narrative)
+    return _stamp_approx(analyzer, Verdict(
+        problem="load-imbalance", victim=None, breakdown=bd,
+        hosts_consulted=sorted(hosts), imbalanced=imbalanced,
+        distribution=merged, narrative=narrative))
 
 
 # ---------------------------------------------------------------------------
@@ -351,13 +370,13 @@ def diagnose_incast(analyzer: Analyzer, alert: VictimAlert, *,
         suspect = max(enumerate(alert.switch_path),
                       key=lambda iv: (fan_in.get(iv[1], 0), iv[0]))[1]
         n = fan_in[suspect]
-        return Verdict(
+        return _stamp_approx(analyzer, Verdict(
             problem="incast", victim=alert.flow, culprits=culprits,
             breakdown=bd, hosts_consulted=sorted(consulted),
             suspect=suspect,
             narrative=(f"{n} synchronized flows converged on "
                        f"{alert.flow.dst} at {suspect} "
-                       f"(N-to-1 incast fan-in)"))
+                       f"(N-to-1 incast fan-in)")))
     # No fan-in: degrade to the §5.1 classification, reusing the
     # culprits already gathered rather than re-querying the hosts.
     victim_prio = _victim_priority(analyzer, alert)
@@ -370,9 +389,10 @@ def diagnose_incast(analyzer: Analyzer, alert: VictimAlert, *,
         + ("high-priority traffic starved the victim"
            if priority_based else
            "equal-priority burst overflowed the queue (microburst)"))
-    return Verdict(problem=problem, victim=alert.flow, culprits=culprits,
-                   breakdown=bd, hosts_consulted=sorted(consulted),
-                   narrative=narrative)
+    return _stamp_approx(analyzer, Verdict(
+        problem=problem, victim=alert.flow, culprits=culprits,
+        breakdown=bd, hosts_consulted=sorted(consulted),
+        narrative=narrative))
 
 
 # ---------------------------------------------------------------------------
@@ -408,14 +428,18 @@ def diagnose_gray_failure(analyzer: Analyzer, flow: FlowKey, *,
             f"packets of {flow.pretty()} vanish between {here} and {nxt}; "
             f"pointers still name {flow.dst} at {upstream} upstream "
             f"switch(es), never at {', '.join(loc.silent)}")
-        return Verdict(problem="gray-failure", victim=flow,
-                       breakdown=loc.breakdown, suspect=suspect,
-                       narrative=narrative)
-    return Verdict(problem="gray-failure", victim=flow,
-                   breakdown=loc.breakdown, suspect=None,
-                   narrative=(f"no spatial cut on {flow.pretty()}'s path "
-                              f"in epochs {silence_epochs.lo}-"
-                              f"{silence_epochs.hi}"))
+        ranked = rank_co_suspects(analyzer, suspect, silence_epochs)
+        return _stamp_approx(analyzer, Verdict(
+            problem="gray-failure", victim=flow,
+            breakdown=loc.breakdown, suspect=suspect,
+            co_suspects=[c.switch for c in ranked],
+            narrative=narrative))
+    return _stamp_approx(analyzer, Verdict(
+        problem="gray-failure", victim=flow,
+        breakdown=loc.breakdown, suspect=None,
+        narrative=(f"no spatial cut on {flow.pretty()}'s path "
+                   f"in epochs {silence_epochs.lo}-"
+                   f"{silence_epochs.hi}")))
 
 
 def diagnose_gray_failure_online(analyzer: Analyzer, flow: FlowKey, *,
@@ -474,9 +498,12 @@ def diagnose_gray_failure_online(analyzer: Analyzer, flow: FlowKey, *,
             f"packets of {flow.pretty()} vanish between {here} and {nxt}; "
             f"pointers still name {flow.dst} at {upstream} upstream "
             f"switch(es), never at {', '.join(loc.silent)}")
+        ranked = rank_co_suspects(analyzer, suspect, silence_epochs)
         verdict = Verdict(problem="gray-failure", victim=flow,
                           breakdown=bd, suspect=suspect,
-                          hosts_consulted=[flow.dst], narrative=narrative)
+                          hosts_consulted=[flow.dst],
+                          co_suspects=[c.switch for c in ranked],
+                          narrative=narrative)
     else:
         verdict = Verdict(
             problem="gray-failure", victim=flow, breakdown=bd,
@@ -484,7 +511,7 @@ def diagnose_gray_failure_online(analyzer: Analyzer, flow: FlowKey, *,
             narrative=(f"no spatial cut on {flow.pretty()}'s path "
                        f"in epochs {silence_epochs.lo}-"
                        f"{silence_epochs.hi}"))
-    return session.stamp(verdict)
+    return _stamp_approx(analyzer, session.stamp(verdict))
 
 
 # ---------------------------------------------------------------------------
@@ -527,7 +554,7 @@ def diagnose_polarization(analyzer: Analyzer, switch: str, *,
     if len(peers) < 2 or total == 0:
         verdict.narrative = (f"{switch} has no multipath choice to "
                              f"polarize ({len(peers)} switch egress(es))")
-        return verdict
+        return _stamp_approx(analyzer, verdict)
     top = max(counts, key=lambda e: (counts[e], e))
     share = counts[top] / total
     idle = sorted(peers - set(counts))
@@ -542,7 +569,7 @@ def diagnose_polarization(analyzer: Analyzer, switch: str, *,
         verdict.narrative = (
             f"no polarization at {switch}: top egress {top} carries "
             f"{share:.0%} of {total} flows (threshold {skew_threshold:.0%})")
-    return verdict
+    return _stamp_approx(analyzer, verdict)
 
 
 def _switch_neighbors(analyzer: Analyzer, switch: str) -> set[str]:
@@ -627,7 +654,7 @@ def diagnose_link_flap(analyzer: Analyzer, branch_switch: str, *,
         verdict.narrative = (
             f"{len(rerouted)} flow(s) changed egress at {branch_switch} "
             f"(need {min_rerouted}); no flap inferred")
-        return verdict
+        return _stamp_approx(analyzer, verdict)
     fractions = {e: churned[e] / users[e] for e in peers if users[e]}
     candidates = [e for e, f in fractions.items()
                   if f >= churn_threshold]
@@ -637,7 +664,7 @@ def diagnose_link_flap(analyzer: Analyzer, branch_switch: str, *,
         verdict.narrative = (
             f"{len(rerouted)} flows oscillated at {branch_switch} but "
             f"{who}; flap not localized")
-        return verdict
+        return _stamp_approx(analyzer, verdict)
     flapped = candidates[0]
     verdict.suspect = f"{branch_switch}-{flapped}"
     others = ", ".join(sorted(e for e in peers if e != flapped))
@@ -645,7 +672,96 @@ def diagnose_link_flap(analyzer: Analyzer, branch_switch: str, *,
         f"link {branch_switch}-{flapped} flapped: {churned[flapped]} of "
         f"{users[flapped]} flows on it also detoured via {others}; "
         f"{len(rerouted)} flow(s) rerouted in total")
-    return verdict
+    return _stamp_approx(analyzer, verdict)
+
+
+# ---------------------------------------------------------------------------
+# directory similarity ("which switches saw the same hosts?")
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CoSuspect:
+    """One switch ranked by directory similarity to a culprit switch."""
+
+    switch: str
+    #: Jaccard similarity of directory contents over the window —
+    #: estimated from minhash signatures under the ``lsh`` backend,
+    #: exact over decoded slot sets otherwise
+    similarity: float
+    #: LSH bands in full agreement (0 under non-``lsh`` backends); a
+    #: positive count is the sketch's "probable near-duplicate" signal
+    band_matches: int = 0
+
+
+def rank_co_suspects(analyzer: Analyzer, suspect: str, epochs: EpochRange,
+                     *, limit: int = 3,
+                     min_similarity: float = 0.0) -> list[CoSuspect]:
+    """Switches whose directories over ``epochs`` resemble ``suspect``'s.
+
+    The similarity query the ``lsh`` backend exists for: "find the
+    switches that saw (roughly) the same hosts as this culprit" — the
+    co-suspect set for correlated faults (a shared linecard, a common
+    upstream, a multi-switch gray failure).  Under ``lsh`` the ranking
+    uses banded minhash signatures (band agreement as the candidate
+    signal, signature Jaccard as the score) without decoding any
+    membership bits; under ``exact``/``bloom`` it falls back to exact
+    Jaccard over the decoded slot sets, so the query is available — just
+    not sketch-accelerated — on every backend.
+
+    Only switches with *some* overlap evidence survive: positive
+    similarity above ``min_similarity``, or at least one matching LSH
+    band.  Deterministic: ties break lexicographically.
+    """
+    agent = analyzer.switch_agents.get(suspect)
+    if agent is None:
+        return []
+    ref = _merged_directory_set(
+        agent.best_effort_snapshots(epochs.lo, epochs.hi)[0])
+    if ref is None:
+        return []
+    ranked: list[CoSuspect] = []
+    for name in sorted(analyzer.switch_agents):
+        if name == suspect:
+            continue
+        other_agent = analyzer.switch_agents[name]
+        other = _merged_directory_set(
+            other_agent.best_effort_snapshots(epochs.lo, epochs.hi)[0])
+        if other is None:
+            continue
+        if (isinstance(ref, LshDirectorySet)
+                and isinstance(other, LshDirectorySet)):
+            bands = ref.band_matches(other)
+            sim = ref.jaccard(other)
+        else:
+            a, b = set(ref.iter_slots()), set(other.iter_slots())
+            union = a | b
+            sim = len(a & b) / len(union) if union else 0.0
+            bands = 0
+        if sim > min_similarity or bands > 0:
+            ranked.append(CoSuspect(switch=name, similarity=sim,
+                                    band_matches=bands))
+    ranked.sort(key=lambda c: (-c.similarity, -c.band_matches, c.switch))
+    return ranked[:limit]
+
+
+def _merged_directory_set(
+        snaps: Sequence[PointerSnapshot]) -> Optional[DirectorySet]:
+    """Decode + union pushed/live snapshots into one directory set.
+
+    Returns ``None`` for an empty window.  All snapshots in a
+    deployment share one backend and geometry, so pairwise
+    ``union_into`` is always legal here.
+    """
+    merged: Optional[DirectorySet] = None
+    for snap in snaps:
+        ds = decode_directory_set(snap.backend, snap.n_slots, snap.bits,
+                                  bits=snap.bits_budget,
+                                  hashes=snap.hashes)
+        if merged is None:
+            merged = ds
+        else:
+            ds.union_into(merged)
+    return merged
 
 
 def _separation_verdict(dist: dict[str, list[int]],

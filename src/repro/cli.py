@@ -14,6 +14,7 @@ Usage::
     python -m repro.cli experiment run skew-degradation --reps 5
     python -m repro.cli experiment nightly       # every experiment
     python -m repro.cli faults list              # registered faults
+    python -m repro.cli directory list           # directory-set backends
     python -m repro.cli sizing --hosts 100000 --alpha 10 --k 3
 
 ``list``, ``run``, ``sweep``, and ``faults`` are driven entirely by
@@ -138,6 +139,26 @@ def cmd_faults_list(_args) -> int:
         print(f"  {'':20s} {spec.summary}")
     print(f"{len(FAULTS)} fault(s) registered; every fault also takes "
           f"start= and stop=")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# directory backends (registry-driven, like faults)
+# ---------------------------------------------------------------------------
+
+def cmd_directory_list(_args) -> int:
+    from .directory import (available_directories, directory_memory_notes,
+                            directory_summaries, resolve_directory)
+    print("directory backends (scenario knobs directory_backend= / "
+          "directory_bits= / directory_hashes=; docs/DIRECTORIES.md):")
+    summaries = directory_summaries()
+    notes = directory_memory_notes()
+    for name in available_directories():
+        print(f"  {name:20s} {summaries[name]}")
+        print(f"  {'':20s} memory: {notes[name]}")
+    print(f"{len(summaries)} backend(s) registered; \"auto\" resolves to "
+          f"{resolve_directory('auto')!r} (every sketch is "
+          f"superset-checked at registration: no false negatives)")
     return 0
 
 
@@ -577,6 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
                                         required=True)
     faults_sub.add_parser("list", help="list registered faults")
 
+    pdir = sub.add_parser("directory", help="switch directory-set "
+                                            "backends: inspect the "
+                                            "sketch registry")
+    dir_sub = pdir.add_subparsers(dest="directory_command", required=True)
+    dir_sub.add_parser("list", help="list registered directory backends")
+
     for fig in ("fig2a", "fig2b", "fig7"):
         p = sub.add_parser(fig, help=LEGACY_FIGURES[fig])
         p.add_argument("--flows", type=int, nargs="+",
@@ -609,6 +636,8 @@ def main(argv=None) -> int:
         return cmd_experiment_run(args)
     if args.command == "faults":
         return cmd_faults_list(args)
+    if args.command == "directory":
+        return cmd_directory_list(args)
     dispatch = {
         "list": cmd_list,
         "run": cmd_run,

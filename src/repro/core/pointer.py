@@ -23,13 +23,22 @@ queryable for its *old* window (tag-validated).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 _BIT_MASKS = [1 << i for i in range(8)]
 
 
 class PointerSet:
-    """Fixed-size bit array over end-host slots."""
+    """Fixed-size bit array over end-host slots.
+
+    Doubles as the ``exact`` directory backend (see
+    :mod:`repro.directory`): it implements the full ``DirectorySet``
+    surface with zero false positives, and is the reference every
+    sketch backend is pinned against.
+    """
+
+    #: registry name under which this set type answers queries
+    backend_name = "exact"
 
     __slots__ = ("n_slots", "_bits", "popcount")
 
@@ -71,12 +80,25 @@ class PointerSet:
                         yield slot
 
     def union_into(self, other: "PointerSet") -> None:
-        """OR this set's bits into ``other`` (same size required)."""
+        """OR this set's bits into ``other`` (same size required).
+
+        Incremental popcount: only the bits this union *newly* sets are
+        counted (``merged ^ theirs``), instead of re-scanning the whole
+        result array — this sits on the per-epoch coalescing hot path,
+        where the old full recount dominated at 65k slots.  The OR
+        itself runs as one big-int operation (C loop, not a Python
+        per-byte loop).
+        """
         if other.n_slots != self.n_slots:
             raise ValueError("pointer sets differ in size")
-        for i, byte in enumerate(self._bits):
-            other._bits[i] |= byte
-        other.popcount = sum(bin(b).count("1") for b in other._bits)
+        mine = int.from_bytes(self._bits, "little")
+        if not mine:
+            return
+        theirs = int.from_bytes(other._bits, "little")
+        merged = mine | theirs
+        if merged != theirs:
+            other._bits[:] = merged.to_bytes(len(other._bits), "little")
+            other.popcount += (merged ^ theirs).bit_count()
 
     def copy(self) -> "PointerSet":
         dup = PointerSet(self.n_slots)
@@ -90,9 +112,30 @@ class PointerSet:
     @classmethod
     def from_bytes(cls, n_slots: int, blob: bytes) -> "PointerSet":
         ps = cls(n_slots)
-        ps._bits[:] = blob
-        ps.popcount = sum(bin(b).count("1") for b in ps._bits)
+        ps.load(blob)
         return ps
+
+    def load(self, blob: bytes) -> None:
+        """Deserialize a :meth:`to_bytes` payload (directory surface)."""
+        if len(blob) != len(self._bits):
+            raise ValueError(
+                f"payload is {len(blob)} bytes, bitmap needs "
+                f"{len(self._bits)}")
+        self._bits[:] = blob
+        self.popcount = int.from_bytes(self._bits, "little").bit_count()
+
+    def estimate(self) -> int:
+        """Member-count estimate (exact for the bitmap: the popcount)."""
+        return self.popcount
+
+    def truth_bytes(self) -> bytes:
+        """The exact membership bitmap — for this backend, the payload."""
+        return self.to_bytes()
+
+    @property
+    def sketch_params(self) -> tuple[int, int]:
+        """``(bits, hashes)`` decode identity; exact sets have none."""
+        return (0, 0)
 
     @property
     def size_bits(self) -> int:
@@ -114,6 +157,14 @@ class PointerSnapshot:
 
     ``segment`` identifies the window: the set covers epochs
     ``[segment * epochs_covered, (segment+1) * epochs_covered)``.
+
+    ``backend`` names the directory backend that produced ``bits``
+    (``"exact"`` = the plain bitmap; anything else decodes through the
+    :mod:`repro.directory` registry with the recorded ``bits_budget``/
+    ``hashes`` geometry).  ``truth_bits`` is the measurement-only exact
+    shadow bitmap a sketch carries so the analyzer can score false
+    positives — it never feeds :meth:`slots` and contributes nothing to
+    ``size_bits``.
     """
 
     level: int
@@ -121,6 +172,11 @@ class PointerSnapshot:
     epochs_covered: int
     bits: bytes
     n_slots: int
+    backend: str = "exact"
+    bits_budget: int = 0
+    hashes: int = 0
+    sketch_bits: int = 0
+    truth_bits: bytes = b""
 
     @property
     def epoch_lo(self) -> int:
@@ -131,12 +187,33 @@ class PointerSnapshot:
         return (self.segment + 1) * self.epochs_covered - 1
 
     def slots(self) -> list[int]:
+        """The recorded slot *superset* (exact for the bitmap backend)."""
+        if self.backend == "exact":
+            return list(PointerSet.from_bytes(self.n_slots,
+                                              self.bits).iter_slots())
+        # call-time import: core stays importable without the directory
+        # registry (which itself imports this module for the bitmap)
+        from ..directory import decode_directory_set
+
+        ds = decode_directory_set(self.backend, self.n_slots, self.bits,
+                                  bits=self.bits_budget, hashes=self.hashes)
+        return list(ds.iter_slots())
+
+    def true_slots(self) -> list[int]:
+        """The exact slot set (shadow truth for sketches; measurement)."""
+        if self.backend == "exact":
+            return self.slots()
         return list(PointerSet.from_bytes(self.n_slots,
-                                          self.bits).iter_slots())
+                                          self.truth_bits).iter_slots())
 
     @property
     def size_bits(self) -> int:
-        return self.n_slots
+        """Modeled memory/transfer cost of this set (sketch-aware)."""
+        return self.sketch_bits or self.n_slots
+
+
+#: builds one empty directory set (PointerSet or a registered sketch)
+SetFactory = Callable[[], Any]
 
 
 class _LevelSlot:
@@ -144,8 +221,8 @@ class _LevelSlot:
 
     __slots__ = ("pointer", "segment")
 
-    def __init__(self, n_slots: int):
-        self.pointer = PointerSet(n_slots)
+    def __init__(self, factory: SetFactory):
+        self.pointer = factory()
         self.segment: Optional[int] = None  # None = never used
 
 
@@ -165,11 +242,17 @@ class HierarchicalPointerStore:
         Callback invoked with a :class:`PointerSnapshot` whenever the
         top-level set completes its αᵏ ms window and is handed to the
         control plane (push model, §4.1.1).
+    set_factory:
+        Builds each of the hierarchy's directory sets.  Defaults to the
+        exact bitmap; deployments pass a sketch factory from the
+        :mod:`repro.directory` registry to trade memory for a
+        false-positive rate (all sets share one geometry).
     """
 
     def __init__(self, n_slots: int, alpha: int, k: int, *,
                  on_push: Optional[Callable[[PointerSnapshot],
-                                            None]] = None):
+                                            None]] = None,
+                 set_factory: Optional[SetFactory] = None):
         if alpha < 2:
             raise ValueError("alpha must be >= 2 (need a real hierarchy)")
         if k < 1:
@@ -178,11 +261,24 @@ class HierarchicalPointerStore:
         self.alpha = alpha
         self.k = k
         self.on_push = on_push
+        factory: SetFactory = (
+            (lambda: PointerSet(n_slots))
+            if set_factory is None else set_factory)
+        self.set_factory = factory
         # levels[h-1] for h in 1..k-1 holds alpha slots; top is separate.
         self._levels: list[list[_LevelSlot]] = [
-            [_LevelSlot(n_slots) for _ in range(alpha)]
+            [_LevelSlot(factory) for _ in range(alpha)]
             for _ in range(k - 1)]
-        self._top = _LevelSlot(n_slots)
+        self._top = _LevelSlot(factory)
+        sample = self._top.pointer
+        if sample.n_slots != n_slots:
+            raise ValueError(
+                f"set_factory builds {sample.n_slots}-slot sets, "
+                f"store needs {n_slots}")
+        #: registry name of the directory backend every set uses
+        self.backend: str = sample.backend_name
+        #: modeled bits per set (sketch-aware; S for the exact bitmap)
+        self.set_size_bits: int = sample.size_bits
         # per-level epoch divisors, precomputed: the update path runs
         # per forwarded packet and must not exponentiate (§4.1.2's
         # "one operation per packet" spirit)
@@ -251,10 +347,18 @@ class HierarchicalPointerStore:
 
     def _snapshot_of(self, level: int, ls: _LevelSlot) -> PointerSnapshot:
         assert ls.segment is not None
+        p = ls.pointer
+        backend = p.backend_name
         return PointerSnapshot(level=level, segment=ls.segment,
                                epochs_covered=self.epochs_covered(level),
-                               bits=ls.pointer.to_bytes(),
-                               n_slots=self.n_slots)
+                               bits=p.to_bytes(),
+                               n_slots=self.n_slots,
+                               backend=backend,
+                               bits_budget=p.sketch_params[0],
+                               hashes=p.sketch_params[1],
+                               sketch_bits=p.size_bits,
+                               truth_bits=(b"" if backend == "exact"
+                                           else p.truth_bytes()))
 
     def snapshot(self, level: int, epoch: int) -> Optional[PointerSnapshot]:
         """The live set covering ``epoch`` at ``level``, if still held.
@@ -321,5 +425,7 @@ class HierarchicalPointerStore:
 
     @property
     def memory_bits(self) -> int:
-        """α·(k−1)·S + S — the paper's switch-memory formula."""
-        return self.total_pointer_sets * self.n_slots
+        """α·(k−1)·B + B, B = bits per set — the paper's switch-memory
+        formula (B = S for the exact bitmap; a sketch's bit budget
+        otherwise, which is what the ``directory-bits`` sweep charts)."""
+        return self.total_pointer_sets * self.set_size_bits

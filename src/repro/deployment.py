@@ -15,6 +15,7 @@ from .analyzer.analyzer import Analyzer
 from .core.epoch import EpochClock, EpochRangeEstimator
 from .core.mphf import HostDirectory
 from .core.pointer import HierarchicalPointerStore
+from .directory import make_directory_set, resolve_directory
 from .hostd.agent import HostAgent
 from .hostd.triggers import ThroughputDropTrigger, VictimAlert
 from .rpc.fabric import LatencyModel, RpcFabric
@@ -63,6 +64,14 @@ class SwitchPointerDeployment:
         (:mod:`repro.hostd.backends`): ``"flat"``, ``"sharded"``,
         ``"columnar"``, or ``"auto"`` (historical default, override-able
         process-wide).  All backends are query-equivalent.
+    directory_backend / directory_bits / directory_hashes:
+        Which directory-set backend every switch's pointer hierarchy
+        builds (:mod:`repro.directory`): ``"exact"``, ``"bloom"``,
+        ``"lsh"``, or ``"auto"`` (exact unless overridden process-wide),
+        with the per-set bit budget (0 = saturating, exact-equivalent)
+        and hash count for the sketches.  Sketches answer with
+        *supersets* of the truth — diagnosis can degrade with the bit
+        budget, never silently miss evidence.
     """
 
     def __init__(self, network: Network, *,
@@ -77,7 +86,10 @@ class SwitchPointerDeployment:
                  records_per_host: Optional[int] = None,
                  record_shards: int = 1,
                  ingest_batch: int = 1,
-                 record_backend: str = "auto"):
+                 record_backend: str = "auto",
+                 directory_backend: str = "auto",
+                 directory_bits: int = 0,
+                 directory_hashes: int = 4):
         self.network = network
         self.alpha_ms = alpha_ms
         self.k = k
@@ -87,6 +99,18 @@ class SwitchPointerDeployment:
         skew = skew_of if skew_of is not None else (lambda _name: 0.0)
 
         self.directory = HostDirectory(network.host_names)
+        self.directory_backend = resolve_directory(directory_backend)
+        self.directory_bits = directory_bits
+        self.directory_hashes = directory_hashes
+        n_slots = self.directory.n
+        backend = self.directory_backend
+        bits, hashes = directory_bits, directory_hashes
+
+        def _set_factory():
+            return make_directory_set(backend, n_slots,
+                                      bits=bits, hashes=hashes)
+
+        self._set_factory = _set_factory
         self.planner = CherryPickPlanner(network)
         self.estimator = EpochRangeEstimator(
             alpha_ms=alpha_ms, epsilon_ms=self.epsilon_ms,
@@ -99,7 +123,8 @@ class SwitchPointerDeployment:
         for name, sw in network.switches.items():
             clock = EpochClock(alpha_ms, skew_s=skew(name))
             store = HierarchicalPointerStore(self.directory.n,
-                                             alpha=alpha_ms, k=k)
+                                             alpha=alpha_ms, k=k,
+                                             set_factory=self._set_factory)
             dp = SwitchPointerDatapath(sw, clock, self.directory.mphf,
                                        store, planner=self.planner,
                                        mode=mode)
@@ -136,7 +161,8 @@ class SwitchPointerDeployment:
             network=network, directory=self.directory,
             switch_agents=self.switch_agents,
             host_agents=self.host_agents, rpc=rpc_fabric,
-            control_store=self.control_store)
+            control_store=self.control_store,
+            directory_backend=self.directory_backend)
 
     def _wire_push(self, agent: SwitchAgent,
                    store: HierarchicalPointerStore, name: str) -> None:

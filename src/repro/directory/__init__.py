@@ -1,0 +1,48 @@
+"""Sketch-based switch directories: approximate pointer-set backends.
+
+See :mod:`repro.directory.registry` for the contract.  Importing this
+package registers every backend (the registry-coverage lint rule holds
+the imports below to the modules that call ``register_directory``).
+"""
+
+from .registry import (
+    DirectoryError,
+    DirectoryFactory,
+    DirectorySet,
+    available_directories,
+    decode_directory_set,
+    default_directory_backend,
+    directory_markdown,
+    directory_memory_notes,
+    directory_summaries,
+    make_directory_set,
+    register_directory,
+    resolve_directory,
+    set_default_directory_backend,
+    use_directory_backend,
+)
+from . import exact  # noqa: F401  (registers the exact backend)
+from . import bloom  # noqa: F401  (registers the bloom backend)
+from . import lsh  # noqa: F401  (registers the lsh backend)
+from .bloom import BloomDirectorySet
+from .lsh import SIG_ROWS, LshDirectorySet
+
+__all__ = [
+    "BloomDirectorySet",
+    "DirectoryError",
+    "DirectoryFactory",
+    "DirectorySet",
+    "LshDirectorySet",
+    "SIG_ROWS",
+    "available_directories",
+    "decode_directory_set",
+    "default_directory_backend",
+    "directory_markdown",
+    "directory_memory_notes",
+    "directory_summaries",
+    "make_directory_set",
+    "register_directory",
+    "resolve_directory",
+    "set_default_directory_backend",
+    "use_directory_backend",
+]

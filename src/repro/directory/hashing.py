@@ -1,0 +1,44 @@
+"""Deterministic slot hashing shared by the sketch backends.
+
+Same construction as the MPHF's internal hash (keyed blake2b truncated
+to 64 bits): seeded, process-independent, and free of any global RNG —
+the sketches must answer identically across runs, workers, and resumed
+sweeps, so nothing here may depend on ``PYTHONHASHSEED`` or
+``random``.  Per-slot digests are memoized (slots repeat heavily on
+the per-packet update path; the universe is the MPHF range, which is
+bounded by the host population).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+#: double-hashing seeds (arbitrary fixed constants, part of the format)
+_SEED_A = 0x51D1
+_SEED_B = 0xB100
+#: minhash row seeds start here (one seed per signature row)
+_SEED_ROW = 0x4C53
+
+
+def hash64(data: bytes, seed: int) -> int:
+    """Keyed 64-bit blake2b digest of ``data``."""
+    h = hashlib.blake2b(
+        data, digest_size=8, key=seed.to_bytes(8, "big")
+    )
+    return int.from_bytes(h.digest(), "big")
+
+
+@lru_cache(maxsize=1 << 17)
+def slot_hashes(slot: int) -> tuple[int, int]:
+    """``(h1, h2)`` double-hashing pair for one slot (h2 forced odd, so
+    probe sequences cover any power-of-two filter size)."""
+    data = slot.to_bytes(8, "big")
+    return hash64(data, _SEED_A), hash64(data, _SEED_B) | 1
+
+
+@lru_cache(maxsize=1 << 17)
+def row_hashes(slot: int, rows: int) -> tuple[int, ...]:
+    """One 64-bit minhash draw per signature row for ``slot``."""
+    data = slot.to_bytes(8, "big")
+    return tuple(hash64(data, _SEED_ROW + row) for row in range(rows))

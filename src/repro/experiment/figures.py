@@ -31,6 +31,7 @@ _GRID = "#e1e0d9"
 _BASELINE = "#c3c2b7"
 _SERIES = "#2a78d6"
 _FRESHNESS = "#c2703f"
+_FPR = "#9a4ac0"
 
 _WIDTH = 640
 _HEIGHT = 400
@@ -138,6 +139,16 @@ def figure_svg(doc: dict[str, Any], fig: Optional[FigureSpec] = None) -> str:
         ]
         freshness.sort(key=lambda item: item[0])
         fresh_max = max((v for _, v in freshness), default=0.0)
+    fpr: list[tuple[float, float]] = []
+    if fig.fpr_series:
+        fpr = [
+            (
+                float(point["params"][fig.x_axis]),
+                float(point["directory_fpr"]["mean"]),
+            )
+            for point in doc["points"]
+        ]
+        fpr.sort(key=lambda item: item[0])
     reps = doc["reps"]
     subtitle = (
         f"mean of {reps} seeded repetitions per point; band: min–max"
@@ -146,6 +157,8 @@ def figure_svg(doc: dict[str, Any], fig: Optional[FigureSpec] = None) -> str:
         subtitle += (
             f"; dashed: freshness (scaled, max {fresh_max:g} records)"
         )
+    if fig.fpr_series:
+        subtitle += "; dashed: pointer false-positive rate"
     out.append(
         f'<text x="{_fmt(_MARGIN_LEFT)}" y="42" {_FONT} font-size="12" '
         f'fill="{_INK_SECONDARY}">{subtitle}</text>'
@@ -230,6 +243,26 @@ def figure_svg(doc: dict[str, Any], fig: Optional[FigureSpec] = None) -> str:
             out.append(
                 f'<circle cx="{_fmt(sx(x))}" cy="{_fmt(sy(v / scale))}" '
                 f'r="3" fill="{_SURFACE}" stroke="{_FRESHNESS}" '
+                f'stroke-width="1.5"/>'
+            )
+
+    # directory false-positive-rate overlay: a rate like accuracy, so
+    # it shares the [0, 1] scale directly (no rescaling); dashed and
+    # drawn under the accuracy line
+    if fig.fpr_series and fpr:
+        fpr_path = " ".join(
+            f"{_fmt(sx(x))},{_fmt(sy(v))}" for x, v in fpr
+        )
+        out.append(
+            f'<polyline points="{fpr_path}" fill="none" '
+            f'stroke="{_FPR}" stroke-width="1.5" '
+            f'stroke-dasharray="5 4" stroke-linejoin="round" '
+            f'stroke-linecap="round"/>'
+        )
+        for x, v in fpr:
+            out.append(
+                f'<circle cx="{_fmt(sx(x))}" cy="{_fmt(sy(v))}" '
+                f'r="3" fill="{_SURFACE}" stroke="{_FPR}" '
                 f'stroke-width="1.5"/>'
             )
 

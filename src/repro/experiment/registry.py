@@ -50,6 +50,11 @@ class FigureSpec:
     (records ingested network-wide during diagnosis) as a dashed
     secondary curve scaled to its own maximum — the online-diagnosis
     studies chart accuracy *and* staleness cost on one figure.
+    ``fpr_series`` overlays the per-point mean sketch-directory
+    false-positive rate as a dashed secondary curve on the same [0, 1]
+    scale as accuracy — the ``directory-bits`` study charts memory
+    against *both* what diagnosis still gets right and how much the
+    pointer answers over-approximate.
     """
 
     x_axis: str
@@ -58,6 +63,7 @@ class FigureSpec:
     vline: Optional[float] = None
     vline_label: str = ""
     freshness_series: bool = False
+    fpr_series: bool = False
 
 
 @dataclass(frozen=True)

@@ -109,6 +109,10 @@ class RunRecord:
     flow_count: int = 0
     peak_records: int = 0
     pending_faults: int = 0
+    #: sketch-directory false-positive rate over the run's pointer
+    #: queries (0.0 for the exact backend and pre-directory artifacts;
+    #: optional in the schema so older committed reports stay valid)
+    directory_fpr: float = 0.0
     error: Optional[str] = None
 
     @property
@@ -140,6 +144,8 @@ class RunRecord:
             flow_count=result["flow_count"],
             peak_records=result["peak_records"],
             pending_faults=_count_pending(result),
+            directory_fpr=result.get("measurements", {}).get(
+                "directory_fpr", 0.0),
             error=result["error"],
         )
 
@@ -159,6 +165,7 @@ class RunRecord:
             "flow_count": self.flow_count,
             "peak_records": self.peak_records,
             "pending_faults": self.pending_faults,
+            "directory_fpr": round(self.directory_fpr, 6),
             "error": self.error,
         }
 
@@ -183,6 +190,7 @@ class PointAggregate:
     sim_time_s: dict[str, float]
     diagnosis_latency_sim_s: dict[str, float]
     freshness: dict[str, float]
+    directory_fpr: dict[str, float]
     errors: int
     pending_faults: int
     peak_records: int
@@ -202,6 +210,7 @@ class PointAggregate:
                 [r.diagnosis_latency_sim_s for r in runs], 9
             ),
             freshness=_stats([float(r.freshness) for r in runs], 6),
+            directory_fpr=_stats([r.directory_fpr for r in runs], 6),
             errors=sum(1 for r in runs if r.error is not None),
             pending_faults=sum(r.pending_faults for r in runs),
             peak_records=max(r.peak_records for r in runs),
@@ -217,6 +226,7 @@ class PointAggregate:
             "sim_time_s": dict(self.sim_time_s),
             "diagnosis_latency_sim_s": dict(self.diagnosis_latency_sim_s),
             "freshness": dict(self.freshness),
+            "directory_fpr": dict(self.directory_fpr),
             "errors": self.errors,
             "pending_faults": self.pending_faults,
             "peak_records": self.peak_records,
@@ -386,8 +396,11 @@ def validate_experiment_report(doc: Any) -> list[str]:
                 errors.append(
                     f"points[{i}].{name} must be {_type_name(types)}"
                 )
+        # directory_fpr is optional (absent from pre-directory reports)
+        # but must be a well-formed stat triple when present
         for stat in ("accuracy", "sim_time_s",
-                     "diagnosis_latency_sim_s", "freshness"):
+                     "diagnosis_latency_sim_s", "freshness",
+                     "directory_fpr"):
             if isinstance(point.get(stat), dict):
                 errors.extend(_check_stats(f"points[{i}]", stat, point[stat]))
     summary = doc["summary"]

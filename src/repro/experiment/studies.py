@@ -23,6 +23,16 @@ claims):
   suspect still localized), then the path query itself is lost and
   accuracy collapses.  Freshness (records ingested while diagnosing)
   grows with the window throughout: the figure charts both.
+* **directory-degradation** — blackhole localization as the per-set
+  sketch bit budget of the ``bloom`` directory backend shrinks below
+  one bit per host (:mod:`repro.directory`).  At budget 0 the sketch
+  saturates (bit-identical to the exact bitmap: FPR 0, full accuracy);
+  tightening budgets first inflate the search radius (pointer false
+  positives cost extra host queries but the spatial cut survives),
+  then flood the cut itself — downstream switches appear to keep
+  naming the victim's destination — and localization collapses.  The
+  figure charts accuracy *and* the measured pointer false-positive
+  rate against the budget.
 """
 
 from __future__ import annotations
@@ -94,6 +104,32 @@ register_experiment(
             vline=5.4,
             vline_label="path query crosses the crash",
             freshness_series=True,
+        ),
+    )
+)
+
+register_experiment(
+    ExperimentSpec(
+        name="directory-degradation",
+        sweep="directory-bits",
+        summary=(
+            "blackhole localization accuracy collapsing — and pointer "
+            "false positives rising — as the bloom directory's per-set "
+            "bit budget shrinks below one bit per host"
+        ),
+        # the default gray-failure topology has 16 hosts, so the exact
+        # bitmap is S = 16 bits per set: the 16-bit point saturates
+        # (bit-identical to exact) and every budget below it is
+        # genuinely lossy — a monotone memory axis for the figure
+        axes={"dir_bits": (2, 4, 6, 8, 12, 16)},
+        reps=5,
+        figure=FigureSpec(
+            x_axis="dir_bits",
+            x_label="sketch bit budget per pointer set (0 = saturating)",
+            title="Diagnosis accuracy vs directory memory",
+            vline=16.0,
+            vline_label="S = one bit per host",
+            fpr_series=True,
         ),
     )
 )

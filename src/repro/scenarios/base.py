@@ -284,6 +284,12 @@ class Scenario(abc.ABC):
                 # active-during-diagnosis, not left as the pre-diagnosis
                 # pending snapshot
                 measurements["fault_plan"] = self.faults.status()
+            # sketch-directory accuracy over the pointer queries the
+            # diagnosis just issued: 0.0 for the exact backend and for
+            # saturating budgets (the directory-bits sweep's y2 axis)
+            measurements.setdefault(
+                "directory_fpr",
+                self.deployment.analyzer.directory_stats()["fpr"])
         return ScenarioResult(
             name=self.spec.name, knobs=dict(self.p), timings=timings,
             sim_time=self.network.sim.now,

@@ -95,6 +95,24 @@ def background_knobs() -> dict[str, Knob]:
     }
 
 
+def directory_knobs() -> dict[str, Knob]:
+    """The switch-directory backend knobs pointer-bearing scenarios share.
+
+    Each maps onto a :class:`~repro.deployment.SwitchPointerDeployment`
+    constructor argument; the sweep ``dir_bits=`` axis binds
+    ``directory_bits`` so nightly runs chart diagnosis accuracy (and the
+    pointer false-positive rate) against per-set sketch memory — see
+    ``docs/DIRECTORIES.md``.
+    """
+    return {
+        "directory_backend": Knob("auto", "switch directory-set backend: "
+                                          "exact, bloom, lsh, or auto"),
+        "directory_bits": Knob(0, "sketch bit budget per pointer set "
+                                  "(0 = saturating, exact-equivalent)"),
+        "directory_hashes": Knob(4, "hash probes per sketch insert"),
+    }
+
+
 def fault_knobs() -> dict[str, Knob]:
     """The ambient-fault knobs fault-capable scenarios share.
 

@@ -24,8 +24,8 @@ from ..simnet.topology import Network, build_linear
 from ..simnet.traffic import UdpCbrSource, UdpSink
 from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioSpec, register
-from .common import (background_knobs, fault_knobs, install_fault_knobs,
-                     launch_background)
+from .common import (background_knobs, directory_knobs, fault_knobs,
+                     install_fault_knobs, launch_background)
 
 
 @dataclass
@@ -94,6 +94,7 @@ class GrayFailureScenario(Scenario):
                                     "ingestion)"),
             **background_knobs(),
             **fault_knobs(),
+            **directory_knobs(),
         },
         aliases=("silent-drop",),
         smoke_knobs={"n_flows": 2, "duration": 0.040},
@@ -117,7 +118,10 @@ class GrayFailureScenario(Scenario):
             records_per_host=p["records_per_host"] or None,
             record_shards=p["record_shards"],
             ingest_batch=p["ingest_batch"],
-            record_backend=p["record_backend"])
+            record_backend=p["record_backend"],
+            directory_backend=p["directory_backend"],
+            directory_bits=p["directory_bits"],
+            directory_hashes=p["directory_hashes"])
         self.network, self.deployment = net, deploy
 
         self.affected: list[FlowKey] = []
@@ -278,6 +282,29 @@ register_sweep(SweepSpec(
     # is lost before the crash, so localization fails too
     base_knobs={"n_flows": 2, "overrun_ms": 250.0,
                 "crash_host": "h4_0", "crash_at": 0.1},
+))
+
+register_sweep(SweepSpec(
+    scenario="gray-failure",
+    name="directory-bits",
+    summary="blackhole localization accuracy and pointer false-positive "
+            "rate as the per-set sketch bit budget shrinks",
+    expect_problem="gray-failure",
+    expect_suspect_knob="fault_switch",
+    axes={
+        "dir_bits": "directory_bits",
+        "backend": "directory_backend",
+        "hashes": "directory_hashes",
+        "victims": "n_flows",
+    },
+    # the default topology has 16 hosts, so the exact bitmap costs
+    # S = 16 bits per set: dir_bits=0 saturates (bit-identical to
+    # exact, FPR 0), and shrinking budgets chart the memory↔accuracy
+    # trade — false positives inflate the search radius first, then
+    # erase the spatial cut and cost localization itself
+    default_grid={"dir_bits": (0, 12, 8, 4, 2)},
+    nightly_grid={"dir_bits": (0, 8)},
+    base_knobs={"directory_backend": "bloom"},
 ))
 
 register_sweep(SweepSpec(

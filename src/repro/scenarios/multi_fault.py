@@ -30,7 +30,8 @@ from ..simnet.topology import build_leaf_spine
 from ..simnet.traffic import UdpCbrSource, UdpSink
 from ..sweep import SweepSpec, register_sweep
 from .base import Knob, Scenario, ScenarioError, ScenarioSpec, register
-from .common import fault_knobs, install_fault_knobs, sport_for_side
+from .common import (directory_knobs, fault_knobs, install_fault_knobs,
+                     sport_for_side)
 
 
 @dataclass
@@ -225,6 +226,7 @@ class MultiFaultScenario(Scenario):
             "alpha_ms": Knob(10, "epoch duration α (ms)"),
             "k": Knob(3, "pointer hierarchy depth"),
             **fault_knobs(),
+            **directory_knobs(),
         },
         smoke_knobs={"slot_flows": 4, "duration": 0.045},
         faults=("silent-drop", "ecmp-polarization", "link-flap",
@@ -244,8 +246,11 @@ class MultiFaultScenario(Scenario):
         net = build_leaf_spine(n_leaves=2 * len(kinds), n_spines=2,
                                hosts_per_leaf=2)
         from ..deployment import SwitchPointerDeployment
-        deploy = SwitchPointerDeployment(net, alpha_ms=p["alpha_ms"],
-                                         k=p["k"])
+        deploy = SwitchPointerDeployment(
+            net, alpha_ms=p["alpha_ms"], k=p["k"],
+            directory_backend=p["directory_backend"],
+            directory_bits=p["directory_bits"],
+            directory_hashes=p["directory_hashes"])
         self.network, self.deployment = net, deploy
 
         self.sites: list[_Site] = []
@@ -292,8 +297,11 @@ class MultiFaultScenario(Scenario):
             + ("attributed" if ok else "MISSED")
             for s, ok in zip(self.sites, attributed))
         if all(attributed):
+            # the roll-up inherits the evidence label: it stands on the
+            # per-site verdicts, which stand on the directory answers
             verdicts.append(Verdict(
                 problem="multi-fault", victim=None,
+                approx=self.deployment.analyzer.directory_approx,
                 narrative=(f"all {len(self.sites)} concurrent fault(s) "
                            f"attributed independently — {parts}")))
         return verdicts

@@ -15,12 +15,45 @@ One agent runs per switch.  It owns:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Optional
 
 from ..core.epoch import EpochClock
 from ..core.pointer import HierarchicalPointerStore, PointerSnapshot
 from ..simnet.engine import PeriodicTimer, Simulator
 from .rules import RuleTable
+
+
+def covering_snapshots(snaps: list[PointerSnapshot], los: list[int],
+                       epoch_lo: int, epoch_hi: int) -> list[PointerSnapshot]:
+    """Pushed snapshots overlapping ``[epoch_lo, epoch_hi]``, by bisect.
+
+    ``los`` is the parallel sorted list of each snapshot's ``epoch_lo``
+    (pushes arrive in window order, so maintaining it is an append).
+    Every pushed set sits at the same level and therefore covers the
+    same span, which turns the interval-overlap test into one
+    contiguous slice — the inverted-index idiom from the query index,
+    replacing the old linear scan over the whole push history.
+    """
+    if not snaps or epoch_hi < los[0]:
+        return []
+    span = snaps[0].epochs_covered
+    start = bisect_left(los, epoch_lo - span + 1)
+    stop = bisect_right(los, epoch_hi)
+    return snaps[start:stop]
+
+
+def _record_push(snaps: list[PointerSnapshot], los: list[int],
+                 snap: PointerSnapshot) -> None:
+    """Append a push, preserving the sorted ``epoch_lo`` index."""
+    lo = snap.epoch_lo
+    if los and lo < los[-1]:
+        idx = bisect_right(los, lo)
+        snaps.insert(idx, snap)
+        los.insert(idx, lo)
+    else:
+        snaps.append(snap)
+        los.append(lo)
 
 
 class SwitchAgent:
@@ -34,6 +67,8 @@ class SwitchAgent:
         self.store = store
         self.rule_table = rule_table
         self.pushed_history: list[PointerSnapshot] = []
+        #: parallel sorted epoch_lo index over pushed_history (bisect)
+        self._pushed_lo: list[int] = []
         self.bytes_pushed = 0
         self.pull_requests = 0
         store.on_push = self._on_push
@@ -41,7 +76,9 @@ class SwitchAgent:
     # -- push model -----------------------------------------------------------
 
     def _on_push(self, snap: PointerSnapshot) -> None:
-        self.pushed_history.append(snap)
+        _record_push(self.pushed_history, self._pushed_lo, snap)
+        # sketch backends push their (smaller) serialized payload; the
+        # measurement-only truth shadow never crosses this link
         self.bytes_pushed += len(snap.bits)
 
     def push_bandwidth_bps(self, elapsed_s: float) -> float:
@@ -81,20 +118,38 @@ class SwitchAgent:
         Epochs that were simply never written answer "no hosts", which
         is correct, at any level.
         """
+        snaps, source = self.best_effort_snapshots(epoch_lo, epoch_hi)
+        slots: set[int] = set()
+        for snap in snaps:
+            slots.update(snap.slots())
+        return slots, source
+
+    def best_effort_snapshots(
+            self, epoch_lo: int,
+            epoch_hi: int) -> tuple[list[PointerSnapshot], str]:
+        """The snapshots behind :meth:`best_effort_slots`, plus source.
+
+        The analyzer consumes snapshots (not pre-merged slot sets) so it
+        can score a sketch's answer against its shadow truth bitmap.
+        """
         self.pull_requests += 1
         if epoch_hi < 0:
-            return set(), "level1"  # entirely pre-history: empty
+            return [], "level1"  # entirely pre-history: empty
         for level in range(1, self.store.k + 1):
             statuses = [self.store.epoch_status(level, e)
                         for e in range(epoch_lo, epoch_hi + 1)]
             if any(s == "recycled" for s in statuses):
                 continue  # data loss at this level: escalate
-            slots: set[int] = set()
-            for snap in self.store.snapshots_covering(
-                    level, max(0, epoch_lo), max(0, epoch_hi)):
-                slots.update(snap.slots())
-            return slots, f"level{level}"
-        return self.offline_slots(epoch_lo, epoch_hi), "offline"
+            return self.store.snapshots_covering(
+                level, max(0, epoch_lo), max(0, epoch_hi)), f"level{level}"
+        return self.offline_snapshots(epoch_lo, epoch_hi), "offline"
+
+    def offline_snapshots(self, epoch_lo: int,
+                          epoch_hi: int) -> list[PointerSnapshot]:
+        """Pushed (persistent) top-level sets overlapping the range,
+        found by bisect over the sorted ``epoch_lo`` index."""
+        return covering_snapshots(self.pushed_history, self._pushed_lo,
+                                  epoch_lo, epoch_hi)
 
     def offline_slots(self, epoch_lo: int, epoch_hi: int) -> set[int]:
         """Slots from *pushed* (persistent) top-level history.
@@ -103,9 +158,8 @@ class SwitchAgent:
         but available after the live sets have been recycled.
         """
         slots: set[int] = set()
-        for snap in self.pushed_history:
-            if snap.epoch_lo <= epoch_hi and epoch_lo <= snap.epoch_hi:
-                slots.update(snap.slots())
+        for snap in self.offline_snapshots(epoch_lo, epoch_hi):
+            slots.update(snap.slots())
         return slots
 
     # -- epoch process --------------------------------------------------------
@@ -130,17 +184,26 @@ class ControlPlaneStore:
 
     def __init__(self) -> None:
         self._by_switch: dict[str, list[PointerSnapshot]] = {}
+        self._lo_by_switch: dict[str, list[int]] = {}
 
     def ingest(self, switch_name: str, snap: PointerSnapshot) -> None:
-        self._by_switch.setdefault(switch_name, []).append(snap)
+        snaps = self._by_switch.setdefault(switch_name, [])
+        los = self._lo_by_switch.setdefault(switch_name, [])
+        _record_push(snaps, los, snap)
 
     def snapshots(self, switch_name: str) -> list[PointerSnapshot]:
         return list(self._by_switch.get(switch_name, []))
 
+    def snapshots_covering(self, switch_name: str, epoch_lo: int,
+                           epoch_hi: int) -> list[PointerSnapshot]:
+        return covering_snapshots(
+            self._by_switch.get(switch_name, []),
+            self._lo_by_switch.get(switch_name, []), epoch_lo, epoch_hi)
+
     def slots_for(self, switch_name: str, epoch_lo: int,
                   epoch_hi: int) -> set[int]:
         slots: set[int] = set()
-        for snap in self._by_switch.get(switch_name, []):
-            if snap.epoch_lo <= epoch_hi and epoch_lo <= snap.epoch_hi:
-                slots.update(snap.slots())
+        for snap in self.snapshots_covering(switch_name, epoch_lo,
+                                            epoch_hi):
+            slots.update(snap.slots())
         return slots

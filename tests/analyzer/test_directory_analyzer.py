@@ -1,0 +1,97 @@
+"""Analyzer behavior on sketch-backed directories: superset answers,
+false-positive accounting, approx evidence labels, co-suspect ranking.
+"""
+
+import pytest
+
+from repro import SwitchPointerDeployment
+from repro.core.epoch import EpochRange
+from repro.scenarios import REGISTRY, run_scenario
+from repro.simnet.packet import make_udp
+from repro.simnet.topology import build_linear
+
+
+def _deploy(**kw):
+    net = build_linear(2, 8)  # 16 hosts: room for a sub-S bit budget
+    deploy = SwitchPointerDeployment(net, alpha_ms=10, k=2, **kw)
+    net.hosts["h1_0"].send(make_udp("h1_0", "h2_0", 1, 9, 500))
+    net.run()
+    return net, deploy
+
+
+class TestSupersetAnswers:
+    def test_tight_budget_floods_but_keeps_the_true_host(self):
+        _net, deploy = _deploy(directory_backend="bloom",
+                               directory_bits=4, directory_hashes=2)
+        hosts = deploy.analyzer.hosts_for("S1", EpochRange(0, 0))
+        assert "h2_0" in hosts          # never dropped
+        assert len(hosts) > 1           # 4 bits for 16 hosts must flood
+        stats = deploy.analyzer.directory_stats()
+        assert stats["queries"] >= 1
+        assert stats["approx_queries"] == stats["queries"]
+        assert stats["false_positive_slots"] > 0
+        assert 0.0 < stats["fpr"] <= 1.0
+
+    def test_saturating_budget_measures_zero_fpr(self):
+        _net, deploy = _deploy(directory_backend="bloom",
+                               directory_bits=0)
+        hosts = deploy.analyzer.hosts_for("S1", EpochRange(0, 0))
+        assert hosts == ["h2_0"]
+        stats = deploy.analyzer.directory_stats()
+        assert stats["approx_queries"] == stats["queries"] >= 1
+        assert stats["fpr"] == 0.0
+
+    def test_exact_backend_never_counts_approx_queries(self):
+        _net, deploy = _deploy()
+        assert deploy.analyzer.hosts_for("S1", EpochRange(0, 0)) == \
+            ["h2_0"]
+        stats = deploy.analyzer.directory_stats()
+        assert stats["queries"] >= 1
+        assert stats["approx_queries"] == 0
+        assert stats["fpr"] == 0.0
+        assert not deploy.analyzer.directory_approx
+
+
+def _gray(**extra):
+    spec = REGISTRY.get("gray-failure").spec
+    return run_scenario("gray-failure", **{**spec.smoke_knobs, **extra})
+
+
+class TestEvidenceLabels:
+    def test_exact_verdicts_are_not_approx(self):
+        result = _gray()
+        assert result.verdicts
+        assert not any(v.approx for v in result.verdicts)
+
+    @pytest.mark.parametrize("backend", ["bloom", "lsh"])
+    def test_sketch_verdicts_carry_the_approx_label(self, backend):
+        result = _gray(directory_backend=backend)
+        assert result.verdicts
+        assert all(v.approx for v in result.verdicts)
+
+    def test_flooded_directory_fpr_rides_the_measurements(self):
+        result = _gray(directory_backend="bloom", directory_bits=3,
+                       directory_hashes=2)
+        assert result.measurements["directory_fpr"] > 0.0
+
+    def test_default_budget_fpr_is_zero(self):
+        result = _gray(directory_backend="bloom")
+        assert result.measurements["directory_fpr"] == 0.0
+
+
+class TestCoSuspects:
+    @pytest.mark.parametrize("backend", ["exact", "lsh"])
+    def test_gray_failure_ranks_co_suspects(self, backend):
+        result = _gray(directory_backend=backend)
+        located = [v for v in result.verdicts if v.suspect]
+        assert located, "smoke gray failure must localize"
+        for v in located:
+            assert v.co_suspects          # similar switches named
+            assert v.suspect not in v.co_suspects
+            assert len(v.co_suspects) <= 3
+
+    def test_ranking_is_deterministic(self):
+        a = _gray(directory_backend="lsh")
+        b = _gray(directory_backend="lsh")
+        assert [v.co_suspects for v in a.verdicts] == \
+            [v.co_suspects for v in b.verdicts]

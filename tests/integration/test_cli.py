@@ -34,6 +34,24 @@ class TestParser:
             build_parser().parse_args(["fig99"])
 
 
+class TestDirectoryCommand:
+    def test_directory_list_matches_registry(self, capsys):
+        from repro.directory import (available_directories,
+                                     directory_summaries)
+
+        assert main(["directory", "list"]) == 0
+        out = capsys.readouterr().out
+        assert set(available_directories()) >= {"exact", "bloom", "lsh"}
+        for name, summary in directory_summaries().items():
+            assert name in out
+            assert summary.split("(")[0].strip()[:40] in out
+        assert "'exact'" in out  # what "auto" resolves to, unoverridden
+
+    def test_directory_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["directory"])
+
+
 class TestFaultsCommand:
     def test_faults_list_shows_at_least_six_faults(self, capsys):
         assert main(["faults", "list"]) == 0

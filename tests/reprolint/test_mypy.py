@@ -19,6 +19,7 @@ TYPED_CORE = (
     "src/repro/sweep",
     "src/repro/faults",
     "src/repro/analyzer",
+    "src/repro/directory",
     "src/repro/scenarios/base.py",
     "src/repro/simnet/workload.py",
     "src/repro/hostd/columnar.py",

@@ -26,6 +26,10 @@ CHECKS: tuple[tuple[str, tuple[str, ...]], ...] = (
         ("tools/gen_scenario_docs.py", "--check"),
     ),
     ("docs/FAULTS.md vs fault registry", ("tools/gen_fault_docs.py", "--check")),
+    (
+        "docs/DIRECTORIES.md vs directory-backend registry",
+        ("tools/gen_directory_docs.py", "--check"),
+    ),
     ("docs/SWEEPS.md vs sweep registry", ("tools/gen_sweep_docs.py", "--check")),
     (
         "docs/EXPERIMENTS.md vs experiment registry",

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Generate docs/DIRECTORIES.md from the directory-backend registry.
+
+Usage::
+
+    python tools/gen_directory_docs.py            # (re)write the page
+    python tools/gen_directory_docs.py --check    # exit 1 if out of date
+
+The page and ``python -m repro.cli directory list`` render the same
+registry metadata, so the catalogue cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TARGET = REPO / "docs" / "DIRECTORIES.md"
+
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.directory import directory_markdown  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    text = directory_markdown()
+    if "--check" in argv:
+        current = TARGET.read_text(encoding="utf-8") if TARGET.exists() else ""
+        if current != text:
+            print(
+                f"{TARGET.relative_to(REPO)} is out of date; "
+                f"run: python tools/gen_directory_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{TARGET.relative_to(REPO)} is up to date")
+        return 0
+    TARGET.parent.mkdir(exist_ok=True)
+    TARGET.write_text(text, encoding="utf-8")
+    print(f"wrote {TARGET.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -50,6 +50,7 @@ TYPED_CORE = (
     f"{SRC}/sweep",
     f"{SRC}/faults",
     f"{SRC}/analyzer",
+    f"{SRC}/directory",
     f"{SRC}/scenarios/base.py",
     f"{SRC}/simnet/workload.py",
     f"{SRC}/hostd/columnar.py",
@@ -64,6 +65,7 @@ REGISTRY_PACKAGES = (
     f"{SRC}/sweep",
     f"{SRC}/experiment",
     f"{SRC}/hostd",
+    f"{SRC}/directory",
 )
 
 
@@ -696,7 +698,7 @@ class FaultProtocol(Rule):
 
 _REGISTER_DECORATORS = {"register", "register_fault"}
 _REGISTER_CALLS = {"register_sweep", "register_experiment",
-                   "register_backend"}
+                   "register_backend", "register_directory"}
 
 
 def _registers_something(
@@ -939,14 +941,16 @@ class TypedDefs(Rule):
     spec = RuleSpec(
         name="typed-defs",
         summary="every function in the typed-core subset (sweep/, "
-        "faults/, analyzer/, scenarios/base.py, simnet/workload.py) "
-        "has complete parameter and return annotations",
+        "faults/, analyzer/, directory/, scenarios/base.py, "
+        "simnet/workload.py) has complete parameter and return "
+        "annotations",
         rationale="CI runs mypy over exactly this subset with "
         "disallow_untyped_defs; this rule enforces the same "
         "completeness from the AST, so the gap surfaces in any "
         "environment — including ones without mypy installed.",
         scope="src/repro/sweep/, src/repro/faults/, "
-        "src/repro/analyzer/, src/repro/scenarios/base.py, "
+        "src/repro/analyzer/, src/repro/directory/, "
+        "src/repro/scenarios/base.py, "
         "src/repro/simnet/workload.py, src/repro/hostd/columnar.py, "
         "src/repro/hostd/backends.py",
         pragma=None,
